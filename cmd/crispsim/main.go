@@ -1,0 +1,108 @@
+// Command crispsim runs one workload of the evaluation suite under a
+// chosen scheduler configuration and prints the timing results — the
+// quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	crispsim -workload mcf -sched crisp -insts 500000
+//	crispsim -workload lbm -sched ooo
+//	crispsim -workload moses -sched ibda -ist 1024
+//	crispsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/ibda"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "pointerchase", "workload name (-list to enumerate)")
+		sched   = flag.String("sched", "crisp", "scheduler: ooo, crisp, random, ibda, perfect-bp")
+		insts   = flag.Uint64("insts", 400_000, "instructions to simulate")
+		ist     = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
+		rs      = flag.Int("rs", 96, "reservation station entries")
+		rob     = flag.Int("rob", 224, "reorder buffer entries")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		verbose = flag.Bool("v", false, "print per-load profiles of the hottest loads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			fmt.Printf("%-14s %s\n", w.Name, w.Pathology)
+		}
+		return
+	}
+
+	w := workload.ByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; -list to enumerate\n", *name)
+		os.Exit(1)
+	}
+
+	cfg := sim.DefaultConfig().WithWindow(*rs, *rob)
+	cfg.Core.MaxInsts = *insts
+
+	var res *core.Result
+	switch *sched {
+	case "ooo":
+		res = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
+	case "random":
+		res = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedRandom))
+	case "perfect-bp":
+		c := cfg.WithSched(core.SchedOldestFirst)
+		c.Core.PerfectBP = true
+		res = sim.Run(w.Build(workload.Ref), c)
+	case "ibda":
+		c := cfg.WithSched(core.SchedCRISP)
+		c.IBDA = &ibda.Config{ISTEntries: *ist, ISTWays: 4, DLTEntries: 32}
+		res = sim.Run(w.Build(workload.Ref), c)
+	case "crisp":
+		pipe := sim.AnalyzeTrain(w.Build(workload.Train), w.Build(workload.Train), cfg, crisp.DefaultOptions())
+		fmt.Printf("pipeline: %d delinquent loads, %d hard branches, %d critical PCs (%.1f%% dynamic)\n",
+			len(pipe.Analysis.DelinquentLoads), len(pipe.Analysis.HardBranches),
+			len(pipe.Analysis.CriticalPCs), pipe.Analysis.DynCriticalFraction*100)
+		res = sim.Run(pipe.Tagged(w.Build(workload.Ref)), cfg.WithSched(core.SchedCRISP))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(1)
+	}
+
+	fmt.Println(sim.Describe(w.Name+"/"+*sched, res))
+	fmt.Printf("ROB head stalls %d (%.1f%% of cycles), fetch stalls %d, DRAM reads %d (avg %.0f cyc)\n",
+		res.ROBHeadStalls, float64(res.ROBHeadStalls)/float64(res.Cycles)*100,
+		res.FetchStallCycle, res.DRAMReads, res.DRAMAvgLat)
+	if res.IssuedCritical > 0 {
+		fmt.Printf("critical issues %d, older-ready bypassed per issue %.1f\n",
+			res.IssuedCritical, float64(res.QueueJumpSum)/float64(res.IssuedCritical))
+	}
+
+	if *verbose {
+		type kv struct {
+			pc int
+			lp *core.LoadProf
+		}
+		var loads []kv
+		for pc, lp := range res.Loads {
+			loads = append(loads, kv{pc, lp})
+		}
+		sort.Slice(loads, func(i, j int) bool { return loads[i].lp.LLCMiss > loads[j].lp.LLCMiss })
+		fmt.Println("hottest loads (by LLC misses):")
+		for i, l := range loads {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  pc %4d: execs %7d llc-misses %6d (ratio %.2f) amat %5.0f mlp %.1f head-stall %d\n",
+				l.pc, l.lp.Count, l.lp.LLCMiss, l.lp.LLCMissRatio(), l.lp.AMAT(), l.lp.AvgMLP(), l.lp.HeadStall)
+		}
+	}
+}

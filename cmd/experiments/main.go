@@ -1,0 +1,98 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated system. Each figure prints an aligned text table (use -csv for
+// machine-readable output).
+//
+// Usage:
+//
+//	experiments -all                 # every table and figure
+//	experiments -fig 7               # one figure
+//	experiments -fig 9 -insts 1e6    # bigger instruction budget
+//	experiments -fig 7 -only mcf,lbm # subset of the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crisp/internal/harness"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf")
+		table = flag.String("table", "", "table to run: 1")
+		all   = flag.Bool("all", false, "run every experiment")
+		insts = flag.Uint64("insts", 400_000, "instructions simulated per run")
+		only  = flag.String("only", "", "comma-separated workload subset")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if !*all && *fig == "" && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lab := harness.NewLab(*insts)
+	if *only != "" {
+		lab.Only = strings.Split(*only, ",")
+	}
+
+	emit := func(t *harness.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Format())
+		}
+		fmt.Println()
+	}
+
+	run := func(f func() *harness.Table) {
+		start := time.Now()
+		t := f()
+		if !*csv {
+			t.Notes = append(t.Notes, fmt.Sprintf("elapsed %.1fs at %d insts/run", time.Since(start).Seconds(), *insts))
+		}
+		emit(t)
+	}
+
+	wantFig := func(name string) bool { return *all || *fig == name }
+
+	if *all || *table == "1" {
+		fmt.Print(lab.Table1())
+		fmt.Println()
+	}
+	if wantFig("1") {
+		run(func() *harness.Table { return lab.Figure1Skip(200, 60, 400) })
+	}
+	if wantFig("3.1") {
+		run(lab.Section31)
+	}
+	if wantFig("4") {
+		run(lab.Figure4)
+	}
+	if wantFig("7") {
+		run(lab.Figure7)
+	}
+	if wantFig("8") {
+		run(lab.Figure8)
+	}
+	if wantFig("9") {
+		run(lab.Figure9)
+	}
+	if wantFig("10") {
+		run(lab.Figure10)
+	}
+	if wantFig("11") {
+		run(lab.Figure11)
+	}
+	if wantFig("12") {
+		run(lab.Figure12)
+	}
+	if wantFig("pf") {
+		run(lab.PrefetcherSensitivity)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "CRISP: Critical
+// Slice Prefetching" (Litz, Ayers, Ranganathan; ASPLOS 2022): a
+// cycle-level out-of-order core simulator with a criticality-aware
+// instruction scheduler, the CRISP software pipeline (profiling, slice
+// extraction through registers and memory, critical-path filtering,
+// tagging), the IBDA hardware baseline, and an evaluation suite
+// regenerating every table and figure of the paper.
+//
+// See README.md for usage, DESIGN.md for the architecture and
+// substitution decisions, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each experiment.
+package repro

@@ -1,0 +1,118 @@
+// Customworkload shows how to author a new kernel against the public
+// pieces of the library — the program builder, the emulator memory, the
+// simulator, and the CRISP software pipeline — without touching the
+// built-in suite. The kernel is a skip-list-style search: towers of
+// pointers where the descent direction depends on loaded keys.
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+	"crisp/internal/program"
+	"crisp/internal/sim"
+)
+
+// buildSkipSearch creates the image: a two-level linked structure where
+// the upper level is sparse (every 8th node) and the search drops a level
+// based on a loaded key comparison.
+func buildSkipSearch(seed int64, nodes int) *sim.Image {
+	r := rand.New(rand.NewSource(seed))
+	mem := emu.NewMemory()
+	const (
+		upperBase = uint64(0x1000_0000)
+		lowerBase = uint64(0x3000_0000)
+		vecBase   = uint64(0x7000_0000)
+	)
+	// Lower ring.
+	perm := r.Perm(nodes)
+	lower := make([]uint64, nodes)
+	for i := range lower {
+		lower[i] = lowerBase + uint64(perm[i])*64
+	}
+	for i := 0; i < nodes; i++ {
+		mem.WriteWord(lower[i], int64(lower[(i+1)%nodes])) // next
+		mem.WriteWord(lower[i]+8, int64(r.Intn(1<<20)))    // key
+	}
+	// Upper ring links every 8th lower node and points down.
+	upperN := nodes / 8
+	permU := r.Perm(upperN)
+	upper := make([]uint64, upperN)
+	for i := range upper {
+		upper[i] = upperBase + uint64(permU[i])*64
+	}
+	for i := 0; i < upperN; i++ {
+		mem.WriteWord(upper[i], int64(upper[(i+1)%upperN]))  // next
+		mem.WriteWord(upper[i]+8, int64(lower[(i*8)%nodes])) // down
+		mem.WriteWord(upper[i]+16, int64(r.Intn(2)))         // descent flag
+	}
+	for i := 0; i < 96; i++ {
+		mem.WriteWord(vecBase+uint64(i)*8, int64(i+1))
+	}
+
+	b := program.NewBuilder("skipsearch")
+	up, down, val := isa.R(1), isa.R(2), isa.R(20)
+	vb, e, lim := isa.R(3), isa.R(4), isa.R(5)
+	t1, t2, t3 := isa.R(8), isa.R(9), isa.R(10)
+	b.MovI(vb, int64(vecBase))
+	b.MovI(lim, 40)
+	b.Label("outer")
+	// Independent filler the scheduler may deprioritize.
+	b.MovI(e, 0)
+	b.Label("fill")
+	b.LoadIdx(t1, vb, e, 8, 0)
+	b.LoadIdx(t2, vb, e, 8, 32)
+	b.LoadIdx(t3, vb, e, 8, 64)
+	b.Mul(t1, t1, val)
+	b.Add(t2, t2, t3)
+	b.AddI(e, e, 1)
+	b.Blt(e, lim, "fill")
+	// Skip-list step: advance the upper level; descend when flagged.
+	b.Load(t1, up, 16)          // descent flag (delinquent)
+	b.Load(up, up, 0)           // upper next (delinquent)
+	b.Beq(t1, isa.R(0), "stay") // data-dependent descent
+	b.Load(down, up, 8)         // down pointer (delinquent)
+	b.Load(down, down, 0)       // lower next (delinquent)
+	b.Label("stay")
+	b.Load(val, up, 8)
+	b.Bne(up, isa.R(0), "outer")
+	b.Halt()
+
+	return &sim.Image{
+		Prog: b.MustBuild(), Mem: mem,
+		Regs: map[isa.Reg]int64{up: int64(upper[0]), down: int64(lower[0]), val: 1},
+	}
+}
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = 250_000
+
+	// The CRISP flow over a custom workload: build two train images (one
+	// is consumed by profiling, one by tracing), analyze, tag, evaluate.
+	pipe := sim.AnalyzeTrain(buildSkipSearch(1, 8000), buildSkipSearch(1, 8000),
+		cfg, crisp.DefaultOptions())
+	a := pipe.Analysis
+	fmt.Printf("custom kernel: %d delinquent loads, %d hard branches, %d critical PCs\n",
+		len(a.DelinquentLoads), len(a.HardBranches), len(a.CriticalPCs))
+	for _, s := range a.Slices {
+		kind := "load"
+		if s.IsBranch {
+			kind = "branch"
+		}
+		fmt.Printf("  %s slice @pc %d: %d -> %d static insts (avg dyn %.1f)\n",
+			kind, s.RootPC, s.FullStatic, s.FiltStatic, s.AvgDynLen)
+	}
+
+	base := sim.Run(buildSkipSearch(2, 16000), cfg.WithSched(core.SchedOldestFirst))
+	cr := sim.Run(pipe.Tagged(buildSkipSearch(2, 16000)), cfg.WithSched(core.SchedCRISP))
+	fmt.Println(sim.Describe("ooo", base))
+	fmt.Println(sim.Describe("crisp", cr))
+	fmt.Printf("speedup %+.1f%%\n", (cr.IPC()/base.IPC()-1)*100)
+}

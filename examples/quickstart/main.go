@@ -1,0 +1,43 @@
+// Quickstart: run one workload through the full CRISP flow — profile the
+// train input, extract and tag critical slices, then compare the baseline
+// OOO scheduler against the CRISP scheduler on the ref input.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+func main() {
+	w := workload.ByName("mcf")
+	fmt.Printf("workload: %s\n  %s\n\n", w.Name, w.Pathology)
+
+	cfg := sim.DefaultConfig() // the paper's Table 1 system
+	cfg.Core.MaxInsts = 300_000
+
+	// Step 1+2 (Figure 5): profile and trace the train input, then run the
+	// software pipeline — delinquent-load classification, slice extraction
+	// with memory dependencies, critical-path filtering, tagging.
+	pipe := sim.AnalyzeTrain(w.Build(workload.Train), w.Build(workload.Train),
+		cfg, crisp.DefaultOptions())
+	a := pipe.Analysis
+	fmt.Printf("software pipeline: %d delinquent loads, %d hard branches\n",
+		len(a.DelinquentLoads), len(a.HardBranches))
+	fmt.Printf("tagged %d static instructions (%.1f%% of dynamic stream)\n\n",
+		len(a.CriticalPCs), a.DynCriticalFraction*100)
+
+	// Step 3: evaluate on the ref input.
+	base := sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
+	tagged := pipe.Tagged(w.Build(workload.Ref))
+	cr := sim.Run(tagged, cfg.WithSched(core.SchedCRISP))
+
+	fmt.Println(sim.Describe("ooo", base))
+	fmt.Println(sim.Describe("crisp", cr))
+	fmt.Printf("\nCRISP speedup: %+.1f%% IPC\n", (cr.IPC()/base.IPC()-1)*100)
+}

@@ -1,0 +1,332 @@
+// Package cache implements the simulated multi-level cache hierarchy:
+// set-associative write-back caches with LRU replacement, MSHRs that merge
+// and bound outstanding misses, and prefetcher attachment points. Caches
+// are latency-returning: Access reports when the requested data is
+// available, threading timing through to the DRAM backend.
+package cache
+
+// Backend is anything that can service a line request: the next cache
+// level or DRAM.
+type Backend interface {
+	// Access requests the line containing addr at the given cycle and
+	// returns the completion cycle.
+	Access(addr uint64, write bool, cycle uint64) uint64
+}
+
+// NoPC marks an access without instruction attribution (prefetch fills,
+// write-backs).
+const NoPC = ^uint64(0)
+
+// pcBackend is implemented by cache levels that accept PC-attributed
+// accesses, letting demand misses keep their attribution as they descend
+// the hierarchy.
+type pcBackend interface {
+	AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64, depth int8)
+}
+
+// Prefetcher observes demand accesses at a cache level and proposes line
+// addresses to prefetch. Implementations live in the prefetch package.
+type Prefetcher interface {
+	// OnAccess is called for each demand access with the access PC, the
+	// byte address, and whether it hit. It returns byte addresses whose
+	// lines should be prefetched.
+	OnAccess(pc, addr uint64, hit bool) []uint64
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	SizeKiB  int
+	Ways     int
+	LineSize int // bytes; 64 throughout
+	Latency  int // hit latency in cycles
+	MSHRs    int // max outstanding misses
+}
+
+// Stats counts cache activity at one level.
+type Stats struct {
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64 // primary misses (excluding MSHR merges)
+	MergedMisses uint64 // secondary misses merged into an outstanding MSHR
+	Writebacks   uint64
+	Prefetches   uint64 // prefetch fills issued
+	PrefetchHits uint64 // demand hits on prefetched-not-yet-referenced lines
+	PrefetchLate uint64 // demand hits on in-flight prefetched lines
+	MSHRStalls   uint64 // cycles added waiting for a free MSHR
+}
+
+// MissRate returns misses (incl. merged) / accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses+s.MergedMisses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	readyAt    uint64 // fill completion time (hit-under-fill)
+	lru        uint32
+	prefetched bool // filled by prefetch, not yet demand-referenced
+	fillDepth  int8 // levels below that served the fill
+}
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	lines    []line // sets*ways
+	lruClock uint32
+	next     Backend
+	pf       Prefetcher
+	mshr     map[uint64]mshrEntry // line addr -> in-flight miss
+	stats    Stats
+
+	// lastLevel marks the LLC: its misses are reported to miss observers
+	// (per-PC profiling, IBDA's delinquent load table).
+	missObs func(pc, lineAddr uint64)
+}
+
+// New returns a cache level in front of next.
+func New(cfg Config, next Backend) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = 64
+	}
+	lines := cfg.SizeKiB * 1024 / cfg.LineSize
+	sets := lines / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	if cfg.MSHRs == 0 {
+		cfg.MSHRs = 16
+	}
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]line, sets*cfg.Ways),
+		next:  next,
+		mshr:  make(map[uint64]mshrEntry),
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// SetPrefetcher attaches a prefetcher to this level.
+func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
+
+// SetMissObserver registers a callback invoked on every primary demand
+// miss at this level with the access PC (used at the LLC for profiling and
+// for IBDA's delinquent load table).
+func (c *Cache) SetMissObserver(f func(pc, lineAddr uint64)) { c.missObs = f }
+
+// Stats returns a copy of this level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineBits << c.lineBits }
+
+func (c *Cache) set(lineAddr uint64) int {
+	return int((lineAddr >> c.lineBits) % uint64(c.sets))
+}
+
+type mshrEntry struct {
+	done  uint64
+	depth int8 // levels below this one the miss descended (1 = next level)
+}
+
+// Access implements Backend for accesses with no PC attribution.
+func (c *Cache) Access(addr uint64, write bool, cycle uint64) uint64 {
+	done, _ := c.AccessPC(NoPC, addr, write, cycle)
+	return done
+}
+
+// AccessPC services a demand access attributed to the instruction at pc.
+// It returns the completion cycle and the depth at which the access was
+// served: 0 = hit in this cache, 1 = next level, 2 = the level after, etc.
+func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64, depth int8) {
+	c.stats.Accesses++
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+
+	// Hit path (including hit-under-fill on an in-flight line).
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			wasPrefetched := ln.prefetched
+			if wasPrefetched {
+				ln.prefetched = false
+				c.stats.PrefetchHits++
+			}
+			if write {
+				ln.dirty = true
+			}
+			c.touch(ln)
+			done = cycle + uint64(c.cfg.Latency)
+			if ln.readyAt > done {
+				// The line is still in flight: the access merges with the
+				// outstanding fill and is served from the fill's level.
+				done = ln.readyAt
+				c.stats.MergedMisses++
+				if wasPrefetched {
+					c.stats.PrefetchLate++
+				}
+				c.firePrefetch(pc, addr, true, cycle)
+				return done, ln.fillDepth
+			}
+			c.stats.Hits++
+			c.firePrefetch(pc, addr, true, cycle)
+			return done, 0
+		}
+	}
+
+	// Secondary miss: merge into outstanding MSHR.
+	if pending, ok := c.mshr[la]; ok && pending.done > cycle {
+		c.stats.MergedMisses++
+		c.firePrefetch(pc, addr, false, cycle)
+		if write {
+			c.markDirtyAfterFill(la)
+		}
+		return pending.done, pending.depth
+	}
+
+	// Primary miss.
+	c.stats.Misses++
+	if c.missObs != nil && pc != NoPC {
+		c.missObs(pc, la)
+	}
+	start := c.mshrAdmit(cycle)
+	fillDone, d := c.accessNext(pc, la, start+uint64(c.cfg.Latency))
+	c.mshr[la] = mshrEntry{done: fillDone, depth: d}
+	c.fill(la, fillDone, d, write, false, cycle)
+	c.firePrefetch(pc, addr, false, cycle)
+	return fillDone, d
+}
+
+// accessNext forwards a miss to the next level, preserving PC attribution
+// when the next level supports it, and returns completion and serve depth
+// relative to this level.
+func (c *Cache) accessNext(pc, la uint64, cycle uint64) (done uint64, depth int8) {
+	if nb, ok := c.next.(pcBackend); ok {
+		d2, nd := nb.AccessPC(pc, la, false, cycle)
+		return d2, nd + 1
+	}
+	return c.next.Access(la, false, cycle), 1
+}
+
+// Prefetch requests a line fill without demand semantics. It is a no-op if
+// the line is already present or in flight.
+func (c *Cache) Prefetch(addr uint64, cycle uint64) {
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			return
+		}
+	}
+	if pending, ok := c.mshr[la]; ok && pending.done > cycle {
+		return
+	}
+	start := c.mshrAdmit(cycle)
+	fillDone, d := c.accessNext(NoPC, la, start+uint64(c.cfg.Latency))
+	c.mshr[la] = mshrEntry{done: fillDone, depth: d}
+	c.stats.Prefetches++
+	c.fill(la, fillDone, d, false, true, cycle)
+}
+
+// firePrefetch runs the attached prefetcher and issues its suggestions.
+func (c *Cache) firePrefetch(pc, addr uint64, hit bool, cycle uint64) {
+	if c.pf == nil {
+		return
+	}
+	for _, target := range c.pf.OnAccess(pc, addr, hit) {
+		c.Prefetch(target, cycle)
+	}
+}
+
+// mshrAdmit returns the cycle at which a new miss may start, delaying it
+// if all MSHRs are occupied, and garbage-collects completed entries.
+func (c *Cache) mshrAdmit(cycle uint64) uint64 {
+	if len(c.mshr) < c.cfg.MSHRs {
+		return cycle
+	}
+	earliest := ^uint64(0)
+	for la, e := range c.mshr {
+		if e.done <= cycle {
+			delete(c.mshr, la)
+		} else if e.done < earliest {
+			earliest = e.done
+		}
+	}
+	if len(c.mshr) < c.cfg.MSHRs {
+		return cycle
+	}
+	c.stats.MSHRStalls += earliest - cycle
+	// Free the earliest-completing entry: it will have completed by then.
+	for la, e := range c.mshr {
+		if e.done == earliest {
+			delete(c.mshr, la)
+			break
+		}
+	}
+	return earliest
+}
+
+func (c *Cache) fill(la uint64, readyAt uint64, depth int8, dirty, prefetched bool, cycle uint64) {
+	base := c.set(la) * c.cfg.Ways
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < c.lines[base+victim].lru {
+			victim = w
+		}
+	}
+	v := &c.lines[base+victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+		c.next.Access(v.tag, true, cycle)
+	}
+	*v = line{tag: la, valid: true, dirty: dirty, readyAt: readyAt, prefetched: prefetched, fillDepth: depth}
+	c.touch(v)
+}
+
+func (c *Cache) markDirtyAfterFill(la uint64) {
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			ln.dirty = true
+			return
+		}
+	}
+}
+
+func (c *Cache) touch(ln *line) {
+	c.lruClock++
+	ln.lru = c.lruClock
+}
+
+// Contains reports whether the line holding addr is resident (test hook).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			return true
+		}
+	}
+	return false
+}

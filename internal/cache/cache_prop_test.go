@@ -1,0 +1,125 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestLRUOrderProperty: within one set, after any access sequence, the
+// resident lines are exactly the most recently used distinct lines.
+func TestLRUOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := &flatMem{latency: 10}
+		// 1 KiB, 2-way, 64B lines => 8 sets. Set 0 addresses: multiples of
+		// 512 bytes.
+		c := small(mem)
+		const ways = 2
+		var accessOrder []uint64 // line addresses, most recent last
+		cycle := uint64(0)
+		for step := 0; step < 100; step++ {
+			line := uint64(r.Intn(6)) * 512 // 6 distinct lines in set 0
+			cycle += 1000                   // let fills complete
+			c.AccessPC(1, line, false, cycle)
+			// Update reference LRU order.
+			for i, a := range accessOrder {
+				if a == line {
+					accessOrder = append(accessOrder[:i], accessOrder[i+1:]...)
+					break
+				}
+			}
+			accessOrder = append(accessOrder, line)
+			// The `ways` most recent lines must be resident.
+			start := len(accessOrder) - ways
+			if start < 0 {
+				start = 0
+			}
+			for _, a := range accessOrder[start:] {
+				if !c.Contains(a) {
+					return false
+				}
+			}
+			// Anything older must be absent.
+			for _, a := range accessOrder[:start] {
+				if c.Contains(a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWriteReadConsistencyProperty: dirty state never lingers after an
+// eviction — every dirty eviction produces exactly one backend write.
+func TestDirtyEvictionAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := &flatMem{latency: 10}
+		c := small(mem)
+		cycle := uint64(0)
+		writes := 0
+		for step := 0; step < 300; step++ {
+			cycle += 1000
+			line := uint64(r.Intn(8)) * 512
+			if r.Intn(2) == 0 {
+				c.AccessPC(1, line, true, cycle)
+				writes++
+			} else {
+				c.AccessPC(1, line, false, cycle)
+			}
+		}
+		s := c.Stats()
+		// Backend writes == recorded writebacks, and never more than the
+		// number of demand writes performed.
+		return mem.writes == int(s.Writebacks) && int(s.Writebacks) <= writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyMonotonicLatency: deeper service levels never complete
+// faster than shallower ones could.
+func TestHierarchyServiceLevelLatency(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	var l1Max, llcMin, llcMax, dramMin uint64 = 0, ^uint64(0), 0, ^uint64(0)
+	r := rand.New(rand.NewSource(7))
+	cycle := uint64(0)
+	for i := 0; i < 3000; i++ {
+		cycle += 500
+		addr := uint64(r.Intn(1<<21)) &^ 7
+		done, by := h.Data(1, addr, false, cycle)
+		lat := done - cycle
+		switch by {
+		case ServedL1:
+			if lat > l1Max {
+				l1Max = lat
+			}
+		case ServedLLC:
+			if lat < llcMin {
+				llcMin = lat
+			}
+			if lat > llcMax {
+				llcMax = lat
+			}
+		case ServedDRAM:
+			if lat < dramMin {
+				dramMin = lat
+			}
+		}
+	}
+	if l1Max > 4 {
+		t.Errorf("L1 hit latency up to %d, want <= 4", l1Max)
+	}
+	if llcMin != ^uint64(0) && llcMin <= 4 {
+		t.Errorf("LLC service as fast as L1: %d", llcMin)
+	}
+	if dramMin != ^uint64(0) && llcMax != 0 && dramMin <= 40 {
+		t.Errorf("DRAM service latency %d implausibly low", dramMin)
+	}
+}

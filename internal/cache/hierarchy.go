@@ -1,0 +1,118 @@
+package cache
+
+import "crisp/internal/dram"
+
+// ServedBy identifies the level that serviced a data access.
+type ServedBy int8
+
+// Service levels for data accesses.
+const (
+	ServedL1 ServedBy = iota
+	ServedLLC
+	ServedDRAM
+)
+
+func (s ServedBy) String() string {
+	switch s {
+	case ServedL1:
+		return "L1"
+	case ServedLLC:
+		return "LLC"
+	default:
+		return "DRAM"
+	}
+}
+
+// HierConfig configures the Table 1 memory hierarchy.
+type HierConfig struct {
+	L1I  Config
+	L1D  Config
+	LLC  Config
+	DRAM dram.Config
+}
+
+// DefaultHierConfig returns the Table 1 uncore: 32 KiB 8-way L1I (3-cycle)
+// and L1D (4-cycle), 1 MiB 20-way LLC (36-cycle), DDR4-2400 single channel.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		L1I:  Config{Name: "L1I", SizeKiB: 32, Ways: 8, Latency: 3, MSHRs: 8},
+		L1D:  Config{Name: "L1D", SizeKiB: 32, Ways: 8, Latency: 4, MSHRs: 16},
+		LLC:  Config{Name: "LLC", SizeKiB: 1024, Ways: 20, Latency: 36, MSHRs: 32},
+		DRAM: dram.DefaultConfig(),
+	}
+}
+
+// Hierarchy wires L1I and L1D over a shared LLC over DRAM, tracks
+// outstanding long-latency misses for MLP measurement, and attributes
+// per-level service for profiling.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	LLC *Cache
+	Mem *dram.DRAM
+
+	// outstanding completion cycles of in-flight DRAM-served loads, used
+	// to approximate memory-level parallelism at miss time (Section 3.2).
+	outstanding []uint64
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierConfig) *Hierarchy {
+	mem := dram.New(cfg.DRAM)
+	llc := New(cfg.LLC, mem)
+	return &Hierarchy{
+		L1I: New(cfg.L1I, llc),
+		L1D: New(cfg.L1D, llc),
+		LLC: llc,
+		Mem: mem,
+	}
+}
+
+// Data services a demand data access for the instruction at pc and returns
+// the completion cycle and serving level.
+func (h *Hierarchy) Data(pc, addr uint64, write bool, cycle uint64) (done uint64, by ServedBy) {
+	done, depth := h.L1D.AccessPC(pc, addr, write, cycle)
+	switch {
+	case depth <= 0:
+		by = ServedL1
+	case depth == 1:
+		by = ServedLLC
+	default:
+		by = ServedDRAM
+		h.trackMiss(done, cycle)
+	}
+	return done, by
+}
+
+// Inst services an instruction-fetch access for the code line at addr.
+func (h *Hierarchy) Inst(addr uint64, cycle uint64) (done uint64, hit bool) {
+	done, depth := h.L1I.AccessPC(NoPC, addr, false, cycle)
+	return done, depth == 0
+}
+
+// PrefetchInst requests an instruction line fill (FDIP).
+func (h *Hierarchy) PrefetchInst(addr uint64, cycle uint64) { h.L1I.Prefetch(addr, cycle) }
+
+func (h *Hierarchy) trackMiss(done, cycle uint64) {
+	// Prune completed entries opportunistically.
+	live := h.outstanding[:0]
+	for _, d := range h.outstanding {
+		if d > cycle {
+			live = append(live, d)
+		}
+	}
+	h.outstanding = append(live, done)
+}
+
+// OutstandingMisses returns the number of DRAM-served loads still in
+// flight at the given cycle, including any that started this cycle. This
+// is the MLP proxy used by the delinquent-load classifier.
+func (h *Hierarchy) OutstandingMisses(cycle uint64) int {
+	n := 0
+	for _, d := range h.outstanding {
+		if d > cycle {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+// Package core implements the cycle-level out-of-order core model: a
+// decoupled frontend with TAGE/BTB/RAS prediction and FDIP-style
+// instruction prefetch, register renaming, a reorder buffer, a unified
+// reservation station scheduled by an age-matrix picker (with the CRISP
+// PRIO extension of Section 4.2), load/store queues with store-to-load
+// forwarding, per-class issue ports, and in-order commit.
+package core
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector used for the scheduler's BID
+// (ready) and PRIO (ready-and-critical) vectors.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset with capacity n bits.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Get reports bit i.
+func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AgeMatrix is the RAND-scheduler age matrix of Section 4.2: instructions
+// are inserted into arbitrary IQ slots, and each slot keeps an N-bit age
+// vector whose bit j is set iff slot j holds an older instruction. The
+// oldest instruction among a candidate set (the BID or PRIO vector) is the
+// one whose age vector ANDed with the candidate vector is all zeros —
+// exactly the NOR-reduction select of Figure 6.
+type AgeMatrix struct {
+	n        int
+	words    int
+	rows     [][]uint64 // rows[slot] = age vector of the instruction in slot
+	occupied *Bitset
+}
+
+// NewAgeMatrix returns an age matrix for an IQ with n slots.
+func NewAgeMatrix(n int) *AgeMatrix {
+	m := &AgeMatrix{n: n, words: (n + 63) / 64, occupied: NewBitset(n)}
+	m.rows = make([][]uint64, n)
+	for i := range m.rows {
+		m.rows[i] = make([]uint64, m.words)
+	}
+	return m
+}
+
+// Size returns the number of IQ slots.
+func (m *AgeMatrix) Size() int { return m.n }
+
+// Occupied reports whether slot i currently holds an instruction.
+func (m *AgeMatrix) Occupied(i int) bool { return m.occupied.Get(i) }
+
+// Insert enqueues a new (youngest) instruction into the given free slot:
+// its age vector is initialized to all ones except its own bit, and its
+// bit is cleared in every existing instruction's age vector (hardware
+// clears it in all rows; stale rows of free slots are harmless because
+// they are never candidates).
+func (m *AgeMatrix) Insert(slot int) {
+	if m.occupied.Get(slot) {
+		panic("core: AgeMatrix.Insert into occupied slot")
+	}
+	row := m.rows[slot]
+	for i := range row {
+		row[i] = ^uint64(0)
+	}
+	// Mask off bits beyond n and the slot's own bit.
+	if extra := m.n & 63; extra != 0 {
+		row[m.words-1] = (1 << uint(extra)) - 1
+	}
+	row[slot>>6] &^= 1 << uint(slot&63)
+	// Clear this slot's bit in all other rows: nothing already enqueued is
+	// younger than the new instruction.
+	w, bit := slot>>6, uint64(1)<<uint(slot&63)
+	for i := 0; i < m.n; i++ {
+		if i != slot {
+			m.rows[i][w] &^= bit
+		}
+	}
+	m.occupied.Set(slot)
+}
+
+// Remove frees a slot at issue. As in hardware, other rows keep their
+// stale bits for this slot; they are masked by the candidate vector.
+func (m *AgeMatrix) Remove(slot int) { m.occupied.Clear(slot) }
+
+// FreeSlot returns a free slot selected pseudo-randomly (the RAND
+// insertion policy), or -1 when the IQ is full. The caller supplies the
+// random word; determinism is preserved by seeding upstream.
+func (m *AgeMatrix) FreeSlot(rnd uint64) int {
+	free := m.n - m.occupied.Count()
+	if free == 0 {
+		return -1
+	}
+	k := int(rnd % uint64(free))
+	for i := 0; i < m.n; i++ {
+		if !m.occupied.Get(i) {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+// OldestAmong returns the slot of the oldest instruction among the
+// candidates (a BID or PRIO vector), or -1 if the candidate set is empty.
+// A candidate is oldest iff its age vector has no bit in common with the
+// candidate set.
+func (m *AgeMatrix) OldestAmong(cand *Bitset) int {
+	for wi, w := range cand.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			slot := wi*64 + b
+			w &^= 1 << uint(b)
+			row := m.rows[slot]
+			zero := true
+			for j := range row {
+				if row[j]&cand.words[j] != 0 {
+					zero = false
+					break
+				}
+			}
+			if zero {
+				return slot
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAgeMatrixSelectsInsertionOrder(t *testing.T) {
+	m := NewAgeMatrix(8)
+	// Insert into scattered slots in a known age order.
+	order := []int{5, 1, 7, 0, 3}
+	for _, s := range order {
+		m.Insert(s)
+	}
+	cand := NewBitset(8)
+	for _, s := range order {
+		cand.Set(s)
+	}
+	for _, want := range order {
+		got := m.OldestAmong(cand)
+		if got != want {
+			t.Fatalf("OldestAmong = %d, want %d", got, want)
+		}
+		cand.Clear(got)
+		m.Remove(got)
+	}
+	if got := m.OldestAmong(cand); got != -1 {
+		t.Errorf("empty candidates returned %d", got)
+	}
+}
+
+func TestAgeMatrixSubsetSelection(t *testing.T) {
+	m := NewAgeMatrix(16)
+	for s := 0; s < 8; s++ {
+		m.Insert(s) // age order = slot order
+	}
+	cand := NewBitset(16)
+	cand.Set(6)
+	cand.Set(3)
+	cand.Set(7)
+	if got := m.OldestAmong(cand); got != 3 {
+		t.Errorf("oldest among {6,3,7} = %d, want 3", got)
+	}
+}
+
+func TestAgeMatrixSlotReuse(t *testing.T) {
+	m := NewAgeMatrix(4)
+	m.Insert(0)
+	m.Insert(1)
+	m.Remove(0)
+	m.Insert(0) // slot 0 now holds the YOUNGEST instruction
+	cand := NewBitset(4)
+	cand.Set(0)
+	cand.Set(1)
+	if got := m.OldestAmong(cand); got != 1 {
+		t.Errorf("after reuse, oldest = %d, want 1", got)
+	}
+}
+
+func TestAgeMatrixInsertOccupiedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double insert did not panic")
+		}
+	}()
+	m := NewAgeMatrix(4)
+	m.Insert(2)
+	m.Insert(2)
+}
+
+func TestFreeSlotExhaustion(t *testing.T) {
+	m := NewAgeMatrix(4)
+	for i := 0; i < 4; i++ {
+		s := m.FreeSlot(uint64(i * 12345))
+		if s < 0 {
+			t.Fatalf("FreeSlot = -1 with %d occupied", i)
+		}
+		m.Insert(s)
+	}
+	if s := m.FreeSlot(99); s != -1 {
+		t.Errorf("FreeSlot on full IQ = %d, want -1", s)
+	}
+}
+
+// Property: for random insert/remove sequences, OldestAmong over the full
+// occupied set always returns the earliest-inserted live slot.
+func TestAgeMatrixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 24
+		m := NewAgeMatrix(n)
+		var liveOrder []int // slots in insertion (age) order
+		for step := 0; step < 200; step++ {
+			if len(liveOrder) > 0 && (len(liveOrder) == n || r.Intn(2) == 0) {
+				// Remove a random live slot.
+				k := r.Intn(len(liveOrder))
+				m.Remove(liveOrder[k])
+				liveOrder = append(liveOrder[:k], liveOrder[k+1:]...)
+			} else {
+				s := m.FreeSlot(r.Uint64())
+				if s < 0 {
+					continue
+				}
+				m.Insert(s)
+				liveOrder = append(liveOrder, s)
+			}
+			cand := NewBitset(n)
+			for _, s := range liveOrder {
+				cand.Set(s)
+			}
+			want := -1
+			if len(liveOrder) > 0 {
+				want = liveOrder[0]
+			}
+			if got := m.OldestAmong(cand); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: priority selection (oldest among an arbitrary subset) always
+// returns the subset member that was inserted earliest.
+func TestAgeMatrixPrioritySubsetProperty(t *testing.T) {
+	f := func(seed int64, pick uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 32
+		m := NewAgeMatrix(n)
+		var order []int
+		for len(order) < n/2 {
+			s := m.FreeSlot(r.Uint64())
+			m.Insert(s)
+			order = append(order, s)
+		}
+		cand := NewBitset(n)
+		want := -1
+		for i, s := range order {
+			if pick&(1<<uint(i)) != 0 {
+				cand.Set(s)
+				if want == -1 {
+					want = s
+				}
+			}
+		}
+		return m.OldestAmong(cand) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Any() {
+		t.Errorf("fresh bitset Any = true")
+	}
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if b.Count() != 3 || !b.Get(64) || !b.Any() {
+		t.Errorf("bitset state wrong: count=%d", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 2 {
+		t.Errorf("clear failed")
+	}
+	b.Reset()
+	if b.Any() {
+		t.Errorf("reset failed")
+	}
+}

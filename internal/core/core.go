@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+
+	"crisp/internal/branch"
+	"crisp/internal/cache"
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+// Marker lets a hardware criticality mechanism (IBDA) tag µops at
+// dispatch. producers holds the static PCs of the most recent writers of
+// the µop's source registers (-1 for architecturally ready values); memory
+// producers are not visible, matching register-only IBDA. The return value
+// ORs with the instruction's static CRISP prefix.
+type Marker interface {
+	MarkDispatch(pc int, isLoad bool, producers []int) bool
+}
+
+// entry is one in-flight µop: a ROB entry, and while waiting also an RS
+// entry (slot >= 0).
+type entry struct {
+	seq  uint64
+	d    emu.DynInst
+	live bool
+
+	critical     bool
+	mispredicted bool
+
+	dispatched bool
+	issued     bool
+	done       bool
+	doneAt     uint64
+
+	dep1, dep2 int64 // producer seqs, -1 when architecturally ready
+	storeDep   int64 // forwarding store seq, -1 if none
+
+	slot int // RS slot while waiting, -1 otherwise
+}
+
+// fqEntry is a fetched, not yet dispatched µop.
+type fqEntry struct {
+	d               emu.DynInst
+	mispredicted    bool
+	dispatchReadyAt uint64
+}
+
+// Core is the cycle-level OOO processor model.
+type Core struct {
+	cfg  Config
+	prog *program.Program
+	em   *emu.Emulator
+	hier *cache.Hierarchy
+
+	bp  branch.Predictor
+	btb *branch.BTB
+	ras *branch.RAS
+
+	marker Marker
+
+	// Fetch state.
+	fetchQ            []fqEntry
+	fetchBlockedUntil uint64
+	waitingBranchSeq  int64 // seq of unresolved mispredicted branch, -1 none
+	mispredictPending bool  // a mispredicted branch is fetched but not yet dispatched
+	curFetchLine      uint64
+	streamDone        bool
+	fetched           uint64
+
+	// Backend state.
+	rob       []entry
+	headSeq   uint64
+	tailSeq   uint64
+	slots     []*entry
+	matrix    *AgeMatrix
+	regProd   [isa.NumRegs]int64
+	regProdPC [isa.NumRegs]int
+	storeQ    []uint64 // seqs of in-flight stores, FIFO
+	lqCount   int
+	sqCount   int
+	portBusy  [isa.NumPortClasses][]uint64
+	rng       uint64
+	producers []int // scratch for marker callbacks
+
+	cycle uint64
+	stats Result
+
+	upcAccum   uint64
+	lastRetire uint64
+}
+
+// New builds a core over the given program, emulator and hierarchy.
+// marker may be nil.
+func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierarchy, marker Marker) *Core {
+	c := &Core{
+		cfg:  cfg,
+		prog: prog,
+		em:   em,
+		hier: hier,
+		btb:  branch.NewBTB(cfg.BTBEntries, cfg.BTBWays),
+		ras:  branch.NewRAS(cfg.RASEntries),
+
+		marker:           marker,
+		waitingBranchSeq: -1,
+
+		rob:    make([]entry, cfg.ROBSize),
+		slots:  make([]*entry, cfg.RSSize),
+		matrix: NewAgeMatrix(cfg.RSSize),
+		rng:    0x853C49E6748FEA9B,
+	}
+	if cfg.PerfectBP {
+		c.bp = branch.Perfect{}
+	} else {
+		c.bp = branch.NewTAGE(13, 11)
+	}
+	for i := range c.regProd {
+		c.regProd[i] = -1
+		c.regProdPC[i] = -1
+	}
+	for cls := range c.portBusy {
+		c.portBusy[cls] = make([]uint64, cfg.Ports[cls])
+	}
+	c.stats.Loads = make(map[int]*LoadProf)
+	c.stats.Branches = make(map[int]*BranchProf)
+	c.curFetchLine = ^uint64(0)
+	return c
+}
+
+func (c *Core) robEntry(seq uint64) *entry { return &c.rob[seq%uint64(len(c.rob))] }
+
+// depReady reports whether the producer identified by seq has its result
+// available at cycle `at`.
+func (c *Core) depReady(seq int64, at uint64) bool {
+	if seq < 0 || uint64(seq) < c.headSeq {
+		return true // architecturally ready or committed
+	}
+	e := c.robEntry(uint64(seq))
+	return e.done && e.doneAt <= at
+}
+
+func (c *Core) nextRand() uint64 {
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	return c.rng
+}
+
+// Run simulates to completion and returns the results.
+func (c *Core) Run() *Result {
+	for !c.finished() {
+		c.commit()
+		c.issue()
+		c.dispatch()
+		c.fetch()
+		c.cycle++
+		if c.cfg.UPCWindow > 0 && c.cycle%uint64(c.cfg.UPCWindow) == 0 {
+			c.stats.UPCWindows = append(c.stats.UPCWindows, float64(c.upcAccum)/float64(c.cfg.UPCWindow))
+			c.upcAccum = 0
+		}
+		if c.cycle-c.lastRetire > 2_000_000 {
+			panic(fmt.Sprintf("core: no commit for 2M cycles at cycle %d (head seq %d tail %d, fetchQ %d)",
+				c.cycle, c.headSeq, c.tailSeq, len(c.fetchQ)))
+		}
+	}
+	c.stats.Cycles = c.cycle
+	c.stats.L1I = c.hier.L1I.Stats()
+	c.stats.L1D = c.hier.L1D.Stats()
+	c.stats.LLC = c.hier.LLC.Stats()
+	ds := c.hier.Mem.Stats()
+	c.stats.DRAMReads = ds.Reads
+	c.stats.DRAMAvgLat = ds.AvgReadLatency()
+	return &c.stats
+}
+
+func (c *Core) finished() bool {
+	return c.streamDone && len(c.fetchQ) == 0 && c.headSeq == c.tailSeq
+}
+
+// ---------------------------------------------------------------- commit
+
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth; n++ {
+		if c.headSeq == c.tailSeq {
+			return
+		}
+		e := c.robEntry(c.headSeq)
+		if !e.done || e.doneAt > c.cycle {
+			c.stats.ROBHeadStalls++
+			if e.d.Inst.Op == isa.OpLoad {
+				c.loadProf(e.d.PC).HeadStall++
+			}
+			return
+		}
+		switch e.d.Inst.Op {
+		case isa.OpLoad:
+			c.lqCount--
+		case isa.OpStore:
+			// Drain the store buffer to the cache in the background.
+			c.hier.Data(uint64(e.d.PC), e.d.Addr, true, c.cycle)
+			if len(c.storeQ) == 0 || c.storeQ[0] != e.seq {
+				panic("core: store queue out of sync at commit")
+			}
+			c.storeQ = c.storeQ[1:]
+			c.sqCount--
+		}
+		if e.critical {
+			c.stats.CriticalExecs++
+		}
+		e.live = false
+		c.headSeq++
+		c.stats.Insts++
+		c.upcAccum++
+		c.lastRetire = c.cycle
+	}
+}
+
+// ----------------------------------------------------------------- issue
+
+// issue models the select stage. The Table 1 baseline is
+// "6-oldest-ready-instructions-first": each cycle the picker selects up to
+// IssueWidth ready instructions in age order (a global pick, not per
+// functional unit) and each selected instruction issues only if a port of
+// its class is free — a selection whose port is busy is wasted, as in an
+// age-matrix select feeding a fixed port binding. CRISP performs the same
+// selection but consults the PRIO vector first (Figure 6), so
+// critical-tagged instructions claim selection slots and ports before
+// older non-critical work.
+func (c *Core) issue() {
+	bid := NewBitset(c.cfg.RSSize)
+	prio := NewBitset(c.cfg.RSSize)
+	any := false
+	for s, e := range c.slots {
+		if e == nil || e.issued {
+			continue
+		}
+		if !c.depReady(e.dep1, c.cycle) || !c.depReady(e.dep2, c.cycle) {
+			continue
+		}
+		if e.d.Inst.Op == isa.OpLoad && e.storeDep >= 0 && !c.depReady(e.storeDep, c.cycle) {
+			continue // wait for the forwarding store's data
+		}
+		bid.Set(s)
+		if e.critical {
+			prio.Set(s)
+		}
+		any = true
+	}
+	if !any {
+		return
+	}
+
+	width := c.cfg.FetchWidth // issue width matches machine width (6)
+	for n := 0; n < width; n++ {
+		slot := c.pick(bid, prio)
+		if slot < 0 {
+			return
+		}
+		bid.Clear(slot)
+		prio.Clear(slot)
+		e := c.slots[slot]
+		cls := e.d.Inst.Op.Class()
+		port := c.freePort(cls)
+		if port < 0 {
+			// Selected but no free functional unit: the selection slot is
+			// consumed and the instruction retries next cycle.
+			continue
+		}
+		c.execute(e, cls, port)
+	}
+}
+
+// freePort returns an available port index in the class, or -1.
+func (c *Core) freePort(cls isa.PortClass) int {
+	for i, busy := range c.portBusy[cls] {
+		if busy <= c.cycle {
+			return i
+		}
+	}
+	return -1
+}
+
+// pick applies the configured scheduling policy to one selection.
+func (c *Core) pick(bid, prio *Bitset) int {
+	switch c.cfg.Scheduler {
+	case SchedCRISP:
+		if s := c.matrix.OldestAmong(prio); s >= 0 {
+			c.stats.IssuedCritical++
+			// Diagnostic: how many older ready entries did the PRIO pick
+			// bypass?
+			seq := c.slots[s].seq
+			for i := 0; i < c.cfg.RSSize; i++ {
+				if bid.Get(i) && c.slots[i] != nil && c.slots[i].seq < seq {
+					c.stats.QueueJumpSum++
+				}
+			}
+			return s
+		}
+		return c.matrix.OldestAmong(bid)
+	case SchedRandom:
+		n := bid.Count()
+		if n == 0 {
+			return -1
+		}
+		k := int(c.nextRand() % uint64(n))
+		for i := 0; i < c.cfg.RSSize; i++ {
+			if bid.Get(i) {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+		return -1
+	default:
+		return c.matrix.OldestAmong(bid)
+	}
+}
+
+func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
+	e.issued = true
+	c.matrix.Remove(e.slot)
+	c.slots[e.slot] = nil
+	e.slot = -1
+
+	op := e.d.Inst.Op
+	if op.Pipelined() {
+		c.portBusy[cls][port] = c.cycle + 1
+	} else {
+		c.portBusy[cls][port] = c.cycle + uint64(op.Latency())
+	}
+
+	switch op {
+	case isa.OpLoad:
+		c.stats.LoadExecs++
+		lp := c.loadProf(e.d.PC)
+		lp.Count++
+		if e.storeDep >= 0 {
+			// Store-to-load forwarding: AGU + bypass.
+			e.doneAt = c.cycle + 2
+			lp.Forwards++
+			lp.TotalLat += 2
+		} else {
+			done, by := c.hier.Data(uint64(e.d.PC), e.d.Addr, false, c.cycle+1)
+			e.doneAt = done
+			lp.TotalLat += done - c.cycle
+			if by != cache.ServedL1 {
+				lp.L1Miss++
+			}
+			if by == cache.ServedDRAM {
+				lp.LLCMiss++
+				lp.MLPSum += uint64(c.hier.OutstandingMisses(c.cycle + 1))
+			}
+		}
+	case isa.OpStore:
+		c.stats.StoreExecs++
+		e.doneAt = c.cycle + 1
+	default:
+		e.doneAt = c.cycle + uint64(op.Latency())
+	}
+	e.done = true
+
+	if e.mispredicted {
+		// The branch has resolved: the frontend refetches from the correct
+		// path after the redirect penalty.
+		c.fetchBlockedUntil = e.doneAt + uint64(c.cfg.RedirectPenalty)
+		if c.waitingBranchSeq == int64(e.seq) {
+			c.waitingBranchSeq = -1
+		}
+	}
+}
+
+// -------------------------------------------------------------- dispatch
+
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) == 0 {
+			return
+		}
+		f := &c.fetchQ[0]
+		if f.dispatchReadyAt > c.cycle {
+			return
+		}
+		if c.tailSeq-c.headSeq >= uint64(c.cfg.ROBSize) {
+			return
+		}
+		op := f.d.Inst.Op
+		if op == isa.OpLoad && c.lqCount >= c.cfg.LoadQueue {
+			return
+		}
+		if op == isa.OpStore && c.sqCount >= c.cfg.StoreQueue {
+			return
+		}
+		slot := c.matrix.FreeSlot(c.nextRand())
+		if slot < 0 {
+			return
+		}
+
+		seq := c.tailSeq
+		e := c.robEntry(seq)
+		*e = entry{
+			seq: seq, d: f.d, live: true,
+			critical:     f.d.Inst.Critical,
+			mispredicted: f.mispredicted,
+			dep1:         -1, dep2: -1, storeDep: -1,
+			slot: slot,
+		}
+		in := f.d.Inst
+		if in.Src1.Valid() {
+			e.dep1 = c.regProd[in.Src1]
+		}
+		if in.Src2.Valid() {
+			e.dep2 = c.regProd[in.Src2]
+		}
+		if op == isa.OpLoad {
+			e.storeDep = c.findForwardingStore(&f.d)
+			c.lqCount++
+		}
+		if op == isa.OpStore {
+			c.storeQ = append(c.storeQ, seq)
+			c.sqCount++
+		}
+
+		if c.marker != nil {
+			c.producers = c.producers[:0]
+			if in.Src1.Valid() {
+				c.producers = append(c.producers, c.regProdPC[in.Src1])
+			}
+			if in.Src2.Valid() {
+				c.producers = append(c.producers, c.regProdPC[in.Src2])
+			}
+			if c.marker.MarkDispatch(f.d.PC, op == isa.OpLoad, c.producers) {
+				e.critical = true
+			}
+		}
+
+		if in.HasDst() {
+			c.regProd[in.Dst] = int64(seq)
+			c.regProdPC[in.Dst] = f.d.PC
+		}
+
+		c.matrix.Insert(slot)
+		c.slots[slot] = e
+		c.tailSeq++
+		if f.mispredicted {
+			c.mispredictPending = false
+			c.waitingBranchSeq = int64(seq)
+		}
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// findForwardingStore returns the seq of the youngest older in-flight
+// store whose 8-byte access overlaps the load's, or -1. Addresses are
+// exact (oracle), modeling perfect memory disambiguation.
+func (c *Core) findForwardingStore(d *emu.DynInst) int64 {
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		se := c.robEntry(c.storeQ[i])
+		delta := int64(d.Addr) - int64(se.d.Addr)
+		if delta < 8 && delta > -8 {
+			return int64(se.seq)
+		}
+	}
+	return -1
+}
+
+// ----------------------------------------------------------------- fetch
+
+func (c *Core) fetch() {
+	if c.cycle < c.fetchBlockedUntil || c.mispredictPending || c.waitingBranchSeq >= 0 {
+		c.stats.FetchStallCycle++
+		return
+	}
+	if c.streamDone {
+		return
+	}
+	if len(c.fetchQ) >= c.cfg.FTQSize {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.cfg.MaxInsts > 0 && c.fetched >= c.cfg.MaxInsts {
+			c.streamDone = true
+			return
+		}
+		d, ok := c.em.Step()
+		if !ok {
+			c.streamDone = true
+			return
+		}
+		c.fetched++
+
+		// Instruction cache: fetching a new code line pays its access
+		// latency; with FDIP the following lines are prefetched.
+		readyAt := c.cycle + uint64(c.cfg.FrontendDepth)
+		icacheStall := false
+		line := c.prog.ByteAddr(d.PC) &^ 63
+		if line != c.curFetchLine {
+			done, hit := c.hier.Inst(line, c.cycle)
+			c.curFetchLine = line
+			if c.cfg.FDIP {
+				for i := 1; i <= 3; i++ {
+					c.hier.PrefetchInst(line+uint64(i*64), c.cycle)
+				}
+			}
+			if !hit {
+				icacheStall = true
+				c.fetchBlockedUntil = done
+				readyAt = done + uint64(c.cfg.FrontendDepth)
+			}
+		}
+
+		if d.Inst.Op.IsBranch() {
+			mispredict, bubbleUntil := c.fetchBranch(d)
+			if mispredict {
+				c.pushFetched(d, true, readyAt)
+				c.mispredictPending = true
+				return
+			}
+			if bubbleUntil > c.fetchBlockedUntil {
+				c.fetchBlockedUntil = bubbleUntil
+			}
+			c.pushFetched(d, false, readyAt)
+			if d.Taken || c.fetchBlockedUntil > c.cycle {
+				// Taken branches end the fetch group; BTB-miss bubbles and
+				// icache misses stop fetch until resolved.
+				return
+			}
+			continue
+		}
+
+		c.pushFetched(d, false, readyAt)
+		if icacheStall {
+			return
+		}
+	}
+}
+
+func (c *Core) pushFetched(d emu.DynInst, misp bool, readyAt uint64) {
+	c.fetchQ = append(c.fetchQ, fqEntry{d: d, mispredicted: misp, dispatchReadyAt: readyAt})
+}
+
+// fetchBranch models prediction for one branch µop. It returns whether the
+// branch was mispredicted and, for correctly predicted taken branches that
+// miss the BTB, the cycle until which fetch bubbles (0 if none).
+func (c *Core) fetchBranch(d emu.DynInst) (mispredict bool, bubbleUntil uint64) {
+	in := d.Inst
+	pcAddr := c.prog.ByteAddr(d.PC)
+	c.stats.BranchExecs++
+	bp := c.branchProf(d.PC)
+	bp.Count++
+	if d.Taken {
+		bp.Taken++
+	}
+
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		pred := c.bp.PredictAndTrain(pcAddr, d.Taken)
+		mispredict = pred != d.Taken
+	case isa.OpJmp:
+		// Direct unconditional: always predicted taken.
+	case isa.OpCall:
+		c.ras.Push(d.PC + 1)
+	case isa.OpRet:
+		target, ok := c.ras.Pop()
+		mispredict = !ok || target != d.NextPC
+	}
+
+	if mispredict {
+		c.stats.BranchMispreds++
+		bp.Mispred++
+		return true, 0
+	}
+
+	// Correct direction. Taken branches need the target from the BTB at
+	// fetch; a miss costs a decode-redirect bubble.
+	if d.Taken && in.Op != isa.OpRet {
+		if _, ok := c.btb.Lookup(pcAddr); !ok {
+			c.stats.BTBMisses++
+			c.btb.Insert(pcAddr, d.NextPC)
+			return false, c.cycle + uint64(c.cfg.BTBMissPenalty)
+		}
+	}
+	return false, 0
+}
+
+// ----------------------------------------------------------- small utils
+
+func (c *Core) loadProf(pc int) *LoadProf {
+	p := c.stats.Loads[pc]
+	if p == nil {
+		p = &LoadProf{}
+		c.stats.Loads[pc] = p
+	}
+	return p
+}
+
+func (c *Core) branchProf(pc int) *BranchProf {
+	p := c.stats.Branches[pc]
+	if p == nil {
+		p = &BranchProf{}
+		c.stats.Branches[pc] = p
+	}
+	return p
+}

@@ -1,0 +1,589 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crisp/internal/cache"
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+func runProg(t *testing.T, cfg Config, p *program.Program, mem *emu.Memory, setup func(*emu.Emulator)) *Result {
+	t.Helper()
+	em := emu.New(p, mem)
+	if setup != nil {
+		setup(em)
+	}
+	c := New(cfg, p, em, cache.NewHierarchy(cache.DefaultHierConfig()), nil)
+	return c.Run()
+}
+
+// straightLine emits a hot loop of independent adds.
+func straightLine(iters int) *program.Program {
+	b := program.NewBuilder("straight")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), int64(iters))
+	b.Label("loop")
+	for i := 0; i < 12; i++ {
+		b.AddI(isa.R(16+i%8), isa.R(8+i%8), 1) // src regs 8..15 never written
+	}
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// depChain emits a hot loop of serially dependent adds.
+func depChain(iters int) *program.Program {
+	b := program.NewBuilder("chain")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), int64(iters))
+	b.MovI(isa.R(3), 0)
+	b.Label("loop")
+	for i := 0; i < 12; i++ {
+		b.AddI(isa.R(3), isa.R(3), 1)
+	}
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestCommitCountMatchesFunctional(t *testing.T) {
+	p := depChain(100)
+	want := emu.New(p, nil).Run(0)
+	res := runProg(t, DefaultConfig(), p, nil, nil)
+	if res.Insts != want {
+		t.Errorf("committed %d insts, want %d", res.Insts, want)
+	}
+	if res.Cycles == 0 || res.IPC() <= 0 {
+		t.Errorf("bogus cycles/IPC: %d / %v", res.Cycles, res.IPC())
+	}
+}
+
+func TestILPExploitedOnIndependentOps(t *testing.T) {
+	ind := runProg(t, DefaultConfig(), straightLine(2000), nil, nil)
+	dep := runProg(t, DefaultConfig(), depChain(2000), nil, nil)
+	if ind.IPC() < 3.0 {
+		t.Errorf("independent-op IPC = %.2f, want >= 3 (4 ALU ports)", ind.IPC())
+	}
+	if dep.IPC() > 1.6 {
+		t.Errorf("dependent-chain IPC = %.2f, want ~1.1 (chain-bound)", dep.IPC())
+	}
+	if ind.IPC() < 2*dep.IPC() {
+		t.Errorf("ILP not exploited: ind %.2f vs dep %.2f", ind.IPC(), dep.IPC())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := depChain(300)
+	a := runProg(t, DefaultConfig(), p, nil, nil)
+	b := runProg(t, DefaultConfig(), p, nil, nil)
+	if a.Cycles != b.Cycles || a.Insts != b.Insts {
+		t.Errorf("nondeterministic: %d/%d vs %d/%d cycles/insts", a.Cycles, a.Insts, b.Cycles, b.Insts)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	b := program.NewBuilder("fwd")
+	b.MovI(isa.R(1), 0x10000)
+	b.MovI(isa.R(2), 99)
+	b.Label("loop")
+	b.Store(isa.R(1), 0, isa.R(2))
+	b.Load(isa.R(3), isa.R(1), 0)
+	b.AddI(isa.R(2), isa.R(2), 1)
+	b.AddI(isa.R(4), isa.R(4), 1)
+	b.MovI(isa.R(5), 200)
+	b.Blt(isa.R(4), isa.R(5), "loop")
+	b.Halt()
+	res := runProg(t, DefaultConfig(), b.MustBuild(), nil, nil)
+	loadPC := 3
+	lp := res.Loads[loadPC]
+	if lp == nil {
+		t.Fatalf("no load profile for pc %d", loadPC)
+	}
+	if lp.Forwards < lp.Count/2 {
+		t.Errorf("forwards = %d of %d loads, expected most to forward", lp.Forwards, lp.Count)
+	}
+}
+
+func TestBranchMispredictsCostCycles(t *testing.T) {
+	// A loop whose inner branch is 50/50 data-dependent (from a seeded
+	// xorshift in registers) vs the same loop with the branch always
+	// falling through.
+	mk := func(random bool) *program.Program {
+		b := program.NewBuilder("br")
+		b.MovI(isa.R(1), 12345) // rng state
+		b.MovI(isa.R(2), 0)     // i
+		b.MovI(isa.R(3), 3000)  // n
+		b.MovI(isa.R(7), 2)
+		b.Label("loop")
+		if random {
+			// xorshift-ish: r1 = r1 ^ (r1 << 7); odd/even decides branch
+			b.Shl(isa.R(4), isa.R(1), 7)
+			b.Xor(isa.R(1), isa.R(1), isa.R(4))
+			b.Shr(isa.R(5), isa.R(1), 3)
+			b.Xor(isa.R(1), isa.R(1), isa.R(5))
+			b.Rem(isa.R(6), isa.R(1), isa.R(7))
+		} else {
+			b.MovI(isa.R(6), 3) // never equal to 1
+		}
+		b.MovI(isa.R(8), 1)
+		b.Beq(isa.R(6), isa.R(8), "skip")
+		b.AddI(isa.R(9), isa.R(9), 1)
+		b.Label("skip")
+		b.AddI(isa.R(2), isa.R(2), 1)
+		b.Blt(isa.R(2), isa.R(3), "loop")
+		b.Halt()
+		return b.MustBuild()
+	}
+	rnd := runProg(t, DefaultConfig(), mk(true), nil, nil)
+	pred := runProg(t, DefaultConfig(), mk(false), nil, nil)
+	if rnd.BranchMPKI() < 20 {
+		t.Errorf("random branch MPKI = %.1f, expected high", rnd.BranchMPKI())
+	}
+	if pred.BranchMPKI() > 5 {
+		t.Errorf("predictable branch MPKI = %.1f, expected low", pred.BranchMPKI())
+	}
+	if pred.IPC() <= rnd.IPC() {
+		t.Errorf("mispredicts did not cost IPC: pred %.2f vs rnd %.2f", pred.IPC(), rnd.IPC())
+	}
+}
+
+func TestPerfectBPEliminatesMispredicts(t *testing.T) {
+	b := program.NewBuilder("r")
+	b.MovI(isa.R(1), 99991)
+	b.MovI(isa.R(2), 0)
+	b.MovI(isa.R(3), 1000)
+	b.MovI(isa.R(7), 2)
+	b.MovI(isa.R(8), 1)
+	b.Label("loop")
+	b.Shl(isa.R(4), isa.R(1), 13)
+	b.Xor(isa.R(1), isa.R(1), isa.R(4))
+	b.Rem(isa.R(6), isa.R(1), isa.R(7))
+	b.Beq(isa.R(6), isa.R(8), "skip")
+	b.Nop()
+	b.Label("skip")
+	b.AddI(isa.R(2), isa.R(2), 1)
+	b.Blt(isa.R(2), isa.R(3), "loop")
+	b.Halt()
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.PerfectBP = true
+	res := runProg(t, cfg, p, nil, nil)
+	if res.BranchMispreds != 0 {
+		t.Errorf("perfect BP mispredicted %d times", res.BranchMispreds)
+	}
+}
+
+// buildPointerChase builds the Figure 2 kernel: an outer linked-list
+// traversal whose next-pointer load misses the LLC, and an inner
+// vector-multiply loop over an L1-resident array. The inner loop dispatches
+// in order and keeps the two load ports saturated, so the baseline
+// scheduler queues the delinquent pointer load behind older ready vector
+// loads — the pathology CRISP's PRIO vector removes.
+//
+// Returns the program, the node region base, node placement slots, and the
+// static PCs of the critical slice (the pointer load and the loop branch
+// feeding the next iteration).
+func buildPointerChase(nodes, vecSize int) (*program.Program, *emu.Memory, []uint64, []int) {
+	const (
+		nodeRegion = uint64(0x1000_0000)
+		vecRegion  = uint64(0x2000_0000)
+	)
+	r := rand.New(rand.NewSource(42))
+	perm := r.Perm(nodes)
+	slots := make([]uint64, nodes)
+	for i := range slots {
+		slots[i] = nodeRegion + uint64(perm[i])*64
+	}
+	mem := emu.NewMemory()
+	for i := 0; i < nodes; i++ {
+		next := int64(0)
+		if i+1 < nodes {
+			next = int64(slots[i+1])
+		}
+		mem.WriteWord(slots[i], next)           // node.next
+		mem.WriteWord(slots[i]+8, int64(i)*3+1) // node.val
+	}
+	for i := 0; i < vecSize+8; i++ {
+		mem.WriteWord(vecRegion+uint64(i)*8, int64(i))
+	}
+
+	b := program.NewBuilder("pointerchase")
+	cur, val, vbase := isa.R(1), isa.R(2), isa.R(3)
+	e, lim := isa.R(4), isa.R(5)
+	t1, t2, t3, acc := isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	b.MovI(vbase, int64(vecRegion))
+	b.MovI(lim, int64(vecSize))
+	b.Label("outer")
+	// Inner loop, 4x unrolled and load-dense (3 loads per element, shallow
+	// element-independent consumers) so that fetch sustains >2 loads/cycle
+	// and the load ports stay saturated with ready work.
+	b.MovI(e, 0)
+	b.Label("inner")
+	for u := 0; u < 4; u++ {
+		off := int64(u * 8)
+		b.LoadIdx(t1, vbase, e, 8, off)
+		b.LoadIdx(t2, vbase, e, 8, off+32)
+		b.LoadIdx(t3, vbase, e, 8, off+64)
+		b.Mul(t1, t1, val)
+		b.Add(t2, t2, t3)
+	}
+	_ = acc
+	b.AddI(e, e, 4)
+	b.Blt(e, lim, "inner")
+	var slice []int
+	slice = append(slice, b.PC())
+	b.Load(cur, cur, 0) // cur = cur->next   (the delinquent load)
+	b.Load(val, cur, 8) // val = cur->val
+	b.Bne(cur, isa.R(0), "outer")
+	slice = append(slice, b.PC()-1)
+	b.Halt()
+	return b.MustBuild(), mem, slots, slice
+}
+
+func pointerChaseResultN(t testing.TB, sched SchedulerKind, tag bool, nodes, vecSize int, maxInsts uint64) *Result {
+	t.Helper()
+	p, mem, slots, slice := buildPointerChase(nodes, vecSize)
+	p = p.Clone()
+	if tag {
+		p.SetCritical(slice)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheduler = sched
+	cfg.MaxInsts = maxInsts
+	em := emu.New(p, mem)
+	em.SetReg(isa.R(1), int64(slots[0]))
+	c := New(cfg, p, em, cache.NewHierarchy(cache.DefaultHierConfig()), nil)
+	return c.Run()
+}
+
+// buildMultiChase interleaves `chains` independent linked-list traversals
+// with the shared vector work; all pointer loads are delinquent and
+// mutually independent, so prioritizing them creates memory-level
+// parallelism that the baseline's age-ordered select delays.
+func buildMultiChase(nodes, vecSize, chains int) (*program.Program, *emu.Memory, [][]uint64, []int) {
+	const vecRegion = uint64(0x2000_0000)
+	mem := emu.NewMemory()
+	allSlots := make([][]uint64, chains)
+	r := rand.New(rand.NewSource(42))
+	for ch := 0; ch < chains; ch++ {
+		region := uint64(0x1000_0000) + uint64(ch)<<28
+		perm := r.Perm(nodes)
+		slots := make([]uint64, nodes)
+		for i := range slots {
+			slots[i] = region + uint64(perm[i])*64
+		}
+		for i := 0; i < nodes; i++ {
+			next := int64(0)
+			if i+1 < nodes {
+				next = int64(slots[i+1])
+			}
+			mem.WriteWord(slots[i], next)
+			mem.WriteWord(slots[i]+8, int64(i+ch))
+		}
+		allSlots[ch] = slots
+	}
+	for i := 0; i < vecSize+8; i++ {
+		mem.WriteWord(vecRegion+uint64(i)*8, int64(i))
+	}
+
+	b := program.NewBuilder("multichase")
+	vbase, e, lim := isa.R(3), isa.R(4), isa.R(5)
+	val := isa.R(2)
+	t1, t2, t3 := isa.R(8), isa.R(9), isa.R(10)
+	// cur pointers in r20..r20+chains-1.
+	b.MovI(vbase, int64(vecRegion))
+	b.MovI(lim, int64(vecSize))
+	b.Label("outer")
+	b.MovI(e, 0)
+	b.Label("inner")
+	for u := 0; u < 4; u++ {
+		off := int64(u * 8)
+		b.LoadIdx(t1, vbase, e, 8, off)
+		b.LoadIdx(t2, vbase, e, 8, off+32)
+		b.LoadIdx(t3, vbase, e, 8, off+64)
+		b.Mul(t1, t1, val)
+		b.Add(t2, t2, t3)
+	}
+	b.AddI(e, e, 4)
+	b.Blt(e, lim, "inner")
+	var slice []int
+	for ch := 0; ch < chains; ch++ {
+		cur := isa.R(20 + ch)
+		slice = append(slice, b.PC())
+		b.Load(cur, cur, 0)
+	}
+	b.Load(val, isa.R(20), 8)
+	b.Bne(isa.R(20), isa.R(0), "outer")
+	slice = append(slice, b.PC()-1)
+	b.Halt()
+	return b.MustBuild(), mem, allSlots, slice
+}
+
+// buildEncodedChase is buildMultiChase with next pointers stored as slot
+// indices that must be decoded (load; shl; xor; add) — a 4-deep
+// address-generation slice per chain, like hash-table probing or pointer
+// compression. Each slice instruction contends with older ready vector
+// work in the baseline's age-ordered select, so the delay compounds with
+// slice depth.
+func buildEncodedChase(nodes, vecSize, chains int) (*program.Program, *emu.Memory, [][]uint64, []int) {
+	const vecRegion = uint64(0x2000_0000)
+	mem := emu.NewMemory()
+	allSlots := make([][]uint64, chains)
+	r := rand.New(rand.NewSource(42))
+	for ch := 0; ch < chains; ch++ {
+		region := uint64(0x1000_0000) + uint64(ch)<<28
+		perm := r.Perm(nodes)
+		slots := make([]uint64, nodes)
+		for i := range slots {
+			slots[i] = region + uint64(perm[i])*64
+		}
+		for i := 0; i < nodes; i++ {
+			// Encoded next: slot index of the successor, XOR-scrambled.
+			nextIdx := int64(perm[(i+1)%nodes]) ^ 0x5a5a
+			mem.WriteWord(slots[i], nextIdx)
+			mem.WriteWord(slots[i]+8, int64(i+ch))
+		}
+		allSlots[ch] = slots
+	}
+	for i := 0; i < vecSize+8; i++ {
+		mem.WriteWord(vecRegion+uint64(i)*8, int64(i))
+	}
+
+	b := program.NewBuilder("encodedchase")
+	vbase, e, lim := isa.R(3), isa.R(4), isa.R(5)
+	val, mask := isa.R(2), isa.R(6)
+	t1, t2, t3, tmp := isa.R(8), isa.R(9), isa.R(10), isa.R(11)
+	b.MovI(vbase, int64(vecRegion))
+	b.MovI(lim, int64(vecSize))
+	b.MovI(mask, 0x5a5a)
+	for ch := 0; ch < chains; ch++ {
+		b.MovI(isa.R(12+ch), int64(uint64(0x1000_0000)+uint64(ch)<<28))
+	}
+	b.Label("outer")
+	b.MovI(e, 0)
+	b.Label("inner")
+	for u := 0; u < 4; u++ {
+		off := int64(u * 8)
+		b.LoadIdx(t1, vbase, e, 8, off)
+		b.LoadIdx(t2, vbase, e, 8, off+32)
+		b.LoadIdx(t3, vbase, e, 8, off+64)
+		b.Mul(t1, t1, val)
+		b.Add(t2, t2, t3)
+	}
+	b.AddI(e, e, 4)
+	b.Blt(e, lim, "inner")
+	var slice []int
+	for ch := 0; ch < chains; ch++ {
+		cur := isa.R(20 + ch)
+		start := b.PC()
+		b.Load(tmp, cur, 0)           // encoded index
+		b.Xor(tmp, tmp, mask)         // descramble
+		b.Shl(tmp, tmp, 6)            // *64
+		b.Add(cur, isa.R(12+ch), tmp) // region + offset
+		for pc := start; pc < b.PC(); pc++ {
+			slice = append(slice, pc)
+		}
+	}
+	b.Load(val, isa.R(20), 8)
+	b.Bne(isa.R(20), isa.R(0), "outer")
+	slice = append(slice, b.PC()-1)
+	b.Halt()
+	return b.MustBuild(), mem, allSlots, slice
+}
+
+func encodedChaseResult(t testing.TB, sched SchedulerKind, tag bool, nodes, vec, chains int, maxInsts uint64) *Result {
+	t.Helper()
+	p, mem, allSlots, slice := buildEncodedChase(nodes, vec, chains)
+	p = p.Clone()
+	if tag {
+		p.SetCritical(slice)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheduler = sched
+	cfg.MaxInsts = maxInsts
+	em := emu.New(p, mem)
+	for ch := 0; ch < chains; ch++ {
+		em.SetReg(isa.R(20+ch), int64(allSlots[ch][0]))
+	}
+	c := New(cfg, p, em, cache.NewHierarchy(cache.DefaultHierConfig()), nil)
+	return c.Run()
+}
+
+func multiChaseResult(t testing.TB, sched SchedulerKind, tag bool, nodes, vec, chains int, maxInsts uint64) *Result {
+	t.Helper()
+	p, mem, allSlots, slice := buildMultiChase(nodes, vec, chains)
+	p = p.Clone()
+	if tag {
+		p.SetCritical(slice)
+	}
+	cfg := DefaultConfig()
+	cfg.Scheduler = sched
+	cfg.MaxInsts = maxInsts
+	em := emu.New(p, mem)
+	for ch := 0; ch < chains; ch++ {
+		em.SetReg(isa.R(20+ch), int64(allSlots[ch][0]))
+	}
+	c := New(cfg, p, em, cache.NewHierarchy(cache.DefaultHierConfig()), nil)
+	return c.Run()
+}
+
+// TestCalibratePointerChase logs CRISP gain across inner-loop sizes; run
+// with -v to inspect. It asserts nothing beyond completion.
+func TestCalibratePointerChase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	for _, nodes := range []int{8000, 40000} {
+		for _, vec := range []int{32, 64, 128} {
+			base := pointerChaseResultN(t, SchedOldestFirst, false, nodes, vec, 150_000)
+			crisp := pointerChaseResultN(t, SchedCRISP, true, nodes, vec, 150_000)
+			t.Logf("nodes=%5d vec=%3d: OOO %.3f CRISP %.3f gain %+.1f%% (jump=%.1f, llcMPKI=%.1f)",
+				nodes, vec, base.IPC(), crisp.IPC(), (crisp.IPC()/base.IPC()-1)*100,
+				float64(crisp.QueueJumpSum)/float64(crisp.IssuedCritical+1), base.LLCMPKI())
+		}
+	}
+	for _, chains := range []int{2, 4, 8} {
+		for _, vec := range []int{32, 64, 128} {
+			base := multiChaseResult(t, SchedOldestFirst, false, 20000, vec, chains, 150_000)
+			crisp := multiChaseResult(t, SchedCRISP, true, 20000, vec, chains, 150_000)
+			t.Logf("chains=%d vec=%3d: OOO %.3f CRISP %.3f gain %+.1f%% (jump=%.1f, llcMPKI=%.1f)",
+				chains, vec, base.IPC(), crisp.IPC(), (crisp.IPC()/base.IPC()-1)*100,
+				float64(crisp.QueueJumpSum)/float64(crisp.IssuedCritical+1), base.LLCMPKI())
+		}
+	}
+	for _, chains := range []int{2, 4, 8} {
+		for _, vec := range []int{32, 64, 128} {
+			base := encodedChaseResult(t, SchedOldestFirst, false, 20000, vec, chains, 150_000)
+			crisp := encodedChaseResult(t, SchedCRISP, true, 20000, vec, chains, 150_000)
+			t.Logf("enc chains=%d vec=%3d: OOO %.3f CRISP %.3f gain %+.1f%% (jump=%.1f, llcMPKI=%.1f)",
+				chains, vec, base.IPC(), crisp.IPC(), (crisp.IPC()/base.IPC()-1)*100,
+				float64(crisp.QueueJumpSum)/float64(crisp.IssuedCritical+1), base.LLCMPKI())
+		}
+	}
+}
+
+func TestCRISPBeatsOOOOnPointerChase(t *testing.T) {
+	base := pointerChaseResultN(t, SchedOldestFirst, false, 40000, 64, 150_000)
+	crisp := pointerChaseResultN(t, SchedCRISP, true, 40000, 64, 150_000)
+	speedup := crisp.IPC() / base.IPC()
+	t.Logf("pointer chase: OOO IPC %.3f, CRISP IPC %.3f, speedup %.1f%%",
+		base.IPC(), crisp.IPC(), (speedup-1)*100)
+	if speedup < 1.01 {
+		t.Errorf("CRISP speedup = %.3f, want >= 1.01", speedup)
+	}
+	if crisp.IssuedCritical == 0 {
+		t.Errorf("CRISP never used the PRIO vector")
+	}
+	if base.Loads == nil {
+		t.Fatalf("no load profiles")
+	}
+	// The delinquent load should show a high LLC miss ratio in the profile.
+	var worst *LoadProf
+	for _, lp := range base.Loads {
+		if worst == nil || lp.LLCMiss > worst.LLCMiss {
+			worst = lp
+		}
+	}
+	if worst.LLCMissRatio() < 0.5 {
+		t.Errorf("delinquent load LLC miss ratio = %.2f, want >= 0.5", worst.LLCMissRatio())
+	}
+	if worst.HeadStall == 0 {
+		t.Errorf("delinquent load has no ROB-head stalls")
+	}
+}
+
+func TestCRISPGainScalesWithMLP(t *testing.T) {
+	base := multiChaseResult(t, SchedOldestFirst, false, 20000, 64, 4, 150_000)
+	crisp := multiChaseResult(t, SchedCRISP, true, 20000, 64, 4, 150_000)
+	speedup := crisp.IPC() / base.IPC()
+	t.Logf("4-chain chase: OOO %.3f CRISP %.3f speedup %+.1f%%", base.IPC(), crisp.IPC(), (speedup-1)*100)
+	if speedup < 1.04 {
+		t.Errorf("multi-chain CRISP speedup = %.3f, want >= 1.04", speedup)
+	}
+	single := pointerChaseResultN(t, SchedCRISP, true, 20000, 64, 150_000)
+	singleBase := pointerChaseResultN(t, SchedOldestFirst, false, 20000, 64, 150_000)
+	if speedup <= single.IPC()/singleBase.IPC() {
+		t.Errorf("MLP did not amplify CRISP gain: multi %.3f vs single %.3f",
+			speedup, single.IPC()/singleBase.IPC())
+	}
+}
+
+func TestCriticalTagIgnoredByBaselineScheduler(t *testing.T) {
+	// Tagging must not change baseline (oldest-first) timing.
+	plain := pointerChaseResultN(t, SchedOldestFirst, false, 40000, 64, 80_000)
+	tagged := pointerChaseResultN(t, SchedOldestFirst, true, 40000, 64, 80_000)
+	if plain.Cycles != tagged.Cycles {
+		// Tagging changes code layout (prefix bytes) and hence icache
+		// behaviour, so allow a small delta.
+		d := float64(plain.Cycles) - float64(tagged.Cycles)
+		if d < 0 {
+			d = -d
+		}
+		if d/float64(plain.Cycles) > 0.02 {
+			t.Errorf("baseline cycles changed by %.1f%% from tagging alone", d/float64(plain.Cycles)*100)
+		}
+	}
+}
+
+func TestRandomSchedulerWorseThanAgeOrdered(t *testing.T) {
+	base := pointerChaseResultN(t, SchedOldestFirst, false, 40000, 64, 80_000)
+	rnd := pointerChaseResultN(t, SchedRandom, false, 40000, 64, 80_000)
+	if rnd.IPC() > base.IPC()*1.05 {
+		t.Errorf("random scheduler (%.3f) beat age-ordered (%.3f)", rnd.IPC(), base.IPC())
+	}
+}
+
+func TestUPCWindowsRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UPCWindow = 100
+	res := runProg(t, cfg, depChain(5000), nil, nil)
+	if len(res.UPCWindows) == 0 {
+		t.Fatalf("no UPC windows recorded")
+	}
+	var sum float64
+	for _, u := range res.UPCWindows {
+		sum += u * 100
+	}
+	if sum > float64(res.Insts) || sum < float64(res.Insts)/2 {
+		t.Errorf("UPC windows sum %.0f inconsistent with %d insts", sum, res.Insts)
+	}
+}
+
+func TestROBSizeLimitsWindow(t *testing.T) {
+	// A long-latency load followed by many independent ops: a bigger ROB
+	// lets more of them retire under the miss shadow.
+	mk := func() (*program.Program, *emu.Memory) {
+		b := program.NewBuilder("window")
+		b.MovI(isa.R(1), 0x4000_0000)
+		b.MovI(isa.R(30), 0)
+		b.MovI(isa.R(31), 60)
+		b.Label("outer")
+		b.Mul(isa.R(2), isa.R(1), isa.R(31))
+		b.Rem(isa.R(2), isa.R(2), isa.R(1))
+		b.Load(isa.R(3), isa.R(1), 0) // DRAM miss (sequential 8KB stride)
+		b.AddI(isa.R(1), isa.R(1), 8192)
+		for i := 0; i < 64; i++ {
+			b.AddI(isa.R(8+i%8), isa.R(16+i%8), 1)
+		}
+		b.AddI(isa.R(30), isa.R(30), 1)
+		b.Blt(isa.R(30), isa.R(31), "outer")
+		b.Halt()
+		return b.MustBuild(), emu.NewMemory()
+	}
+	small := DefaultConfig()
+	small.ROBSize = 32
+	small.RSSize = 16
+	big := DefaultConfig()
+	p1, m1 := mk()
+	p2, m2 := mk()
+	rs := runProg(t, small, p1, m1, nil)
+	rb := runProg(t, big, p2, m2, nil)
+	if rb.IPC() <= rs.IPC() {
+		t.Errorf("bigger ROB not faster: %d-entry %.3f vs 32-entry %.3f", big.ROBSize, rb.IPC(), rs.IPC())
+	}
+}

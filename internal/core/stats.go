@@ -1,0 +1,121 @@
+package core
+
+import "crisp/internal/cache"
+
+// LoadProf accumulates per-static-PC load behaviour: the measurements the
+// paper's software pipeline obtains from PMU counters and PEBS
+// (Section 3.2).
+type LoadProf struct {
+	Count     uint64 // dynamic executions
+	L1Miss    uint64 // served beyond L1
+	LLCMiss   uint64 // served by DRAM
+	TotalLat  uint64 // sum of load-to-use latencies in cycles
+	MLPSum    uint64 // sum of outstanding DRAM misses sampled at each LLC miss
+	HeadStall uint64 // cycles this PC spent stalled at the ROB head
+	Forwards  uint64 // store-to-load forwards
+}
+
+// AMAT returns the average memory access time of the load in cycles.
+func (p *LoadProf) AMAT() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.TotalLat) / float64(p.Count)
+}
+
+// LLCMissRatio returns the fraction of executions served by DRAM.
+func (p *LoadProf) LLCMissRatio() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.LLCMiss) / float64(p.Count)
+}
+
+// AvgMLP returns the mean number of outstanding DRAM misses observed when
+// this load missed the LLC.
+func (p *LoadProf) AvgMLP() float64 {
+	if p.LLCMiss == 0 {
+		return 0
+	}
+	return float64(p.MLPSum) / float64(p.LLCMiss)
+}
+
+// BranchProf accumulates per-static-PC branch behaviour.
+type BranchProf struct {
+	Count   uint64
+	Mispred uint64
+	Taken   uint64
+}
+
+// MispredictRate returns mispredictions / executions.
+func (p *BranchProf) MispredictRate() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Mispred) / float64(p.Count)
+}
+
+// Result is the outcome of one timing simulation.
+type Result struct {
+	Cycles uint64
+	Insts  uint64 // committed µops
+
+	// Frontend.
+	BranchExecs     uint64
+	BranchMispreds  uint64
+	BTBMisses       uint64
+	FetchStallCycle uint64 // cycles fetch was blocked on a mispredict
+
+	// Backend.
+	ROBHeadStalls  uint64 // cycles the ROB head could not retire
+	LoadExecs      uint64
+	StoreExecs     uint64
+	CriticalExecs  uint64 // committed µops carrying the critical tag
+	IssuedCritical uint64 // issue slots granted via the PRIO vector
+	QueueJumpSum   uint64 // older ready entries bypassed by PRIO picks
+
+	// Memory hierarchy snapshots.
+	L1I, L1D, LLC cache.Stats
+	DRAMReads     uint64
+	DRAMAvgLat    float64
+
+	// Per-PC profiles (the software pipeline's PMU stand-in).
+	Loads    map[int]*LoadProf
+	Branches map[int]*BranchProf
+
+	// UPC timeline: retired µops per UPCWindow-cycle window (Figure 1).
+	UPCWindows []float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// BranchMPKI returns branch mispredictions per kilo-instruction.
+func (r *Result) BranchMPKI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.BranchMispreds) / float64(r.Insts) * 1000
+}
+
+// LLCMPKI returns LLC demand misses per kilo-instruction.
+func (r *Result) LLCMPKI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.LLC.Misses+r.LLC.MergedMisses) / float64(r.Insts) * 1000
+}
+
+// L1IMPKI returns instruction-cache misses per kilo-instruction
+// (Section 5.7's prefix-overhead metric).
+func (r *Result) L1IMPKI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.L1I.Misses+r.L1I.MergedMisses) / float64(r.Insts) * 1000
+}

@@ -1,0 +1,140 @@
+// Package dram models a DDR4-like single-channel main memory with banks,
+// open rows, and a shared data bus, standing in for the Ramulator backend
+// of the paper's simulation platform (Table 1: DDR4-2400, 1 channel).
+//
+// The model is latency-returning: Access(addr, write, cycle) computes when
+// the request's data is available, advancing per-bank and channel busy
+// state. Requests are serviced in arrival order (FCFS with open-page row
+// policy); row-buffer hits, misses, and conflicts are timed differently,
+// and bank-level parallelism emerges naturally because independent banks
+// overlap. This captures the properties CRISP's evaluation depends on:
+// high and variable miss latency, and MLP when independent misses hit
+// different banks.
+package dram
+
+// Config holds DRAM timing parameters in CPU cycles (3 GHz core clock,
+// DDR4-2400 device timings).
+type Config struct {
+	Banks       int // banks in the channel
+	RowBytes    int // row-buffer size per bank
+	CtrlLatency int // controller + queueing overhead per request
+	CAS         int // column access (row-buffer hit portion)
+	RCD         int // activate: row closed -> open
+	RP          int // precharge: close a conflicting row
+	Burst       int // 64B data-burst transfer time on the channel
+}
+
+// DefaultConfig returns DDR4-2400-like timings at a 3 GHz core clock
+// (CL=RCD=RP ~14ns ~= 42 cycles; 64B burst ~3.3ns ~= 10 cycles).
+func DefaultConfig() Config {
+	return Config{
+		Banks:       16,
+		RowBytes:    8192,
+		CtrlLatency: 20,
+		CAS:         42,
+		RCD:         42,
+		RP:          42,
+		Burst:       10,
+	}
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed row (first access after precharge)
+	RowConflicts uint64 // different row open
+	TotalReadLat uint64 // sum of read latencies (request to data)
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s *Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLat) / float64(s.Reads)
+}
+
+type bank struct {
+	openRow   int64 // -1 = closed
+	busyUntil uint64
+}
+
+// DRAM is a single-channel memory controller.
+type DRAM struct {
+	cfg     Config
+	banks   []bank
+	busBusy uint64 // channel data-bus busy-until
+	stats   Stats
+}
+
+// New returns a DRAM with the given config (zero Config fields replaced by
+// defaults).
+func New(cfg Config) *DRAM {
+	def := DefaultConfig()
+	if cfg.Banks == 0 {
+		cfg = def
+	}
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	return d
+}
+
+// Access services a 64-byte line request beginning at CPU cycle `cycle`
+// and returns the cycle at which the data transfer completes. Writes
+// occupy the bank and bus but callers typically ignore their completion
+// time (write-backs are not on the load critical path).
+func (d *DRAM) Access(addr uint64, write bool, cycle uint64) uint64 {
+	// Address mapping: row-interleaved across banks so that sequential
+	// lines within a row stay in one bank (row locality) while independent
+	// data structures spread across banks.
+	rowID := addr / uint64(d.cfg.RowBytes)
+	b := &d.banks[rowID%uint64(len(d.banks))]
+	row := int64(rowID / uint64(len(d.banks)))
+
+	start := cycle + uint64(d.cfg.CtrlLatency)
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+
+	var access uint64
+	switch {
+	case b.openRow == row:
+		access = uint64(d.cfg.CAS)
+		d.stats.RowHits++
+	case b.openRow == -1:
+		access = uint64(d.cfg.RCD + d.cfg.CAS)
+		d.stats.RowMisses++
+	default:
+		access = uint64(d.cfg.RP + d.cfg.RCD + d.cfg.CAS)
+		d.stats.RowConflicts++
+	}
+	b.openRow = row
+	b.busyUntil = start + access
+
+	xfer := start + access
+	if d.busBusy > xfer {
+		xfer = d.busBusy
+	}
+	done := xfer + uint64(d.cfg.Burst)
+	d.busBusy = done
+
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+		d.stats.TotalReadLat += done - cycle
+	}
+	return done
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// MinReadLatency returns the best-case (row hit, idle) read latency.
+func (d *DRAM) MinReadLatency() uint64 {
+	return uint64(d.cfg.CtrlLatency + d.cfg.CAS + d.cfg.Burst)
+}

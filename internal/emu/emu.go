@@ -1,0 +1,274 @@
+// Package emu implements a functional emulator for isa programs. The
+// emulator maintains architectural state (registers and a sparse paged
+// byte memory) and produces the dynamic instruction stream consumed by the
+// timing model ("execute-at-fetch" trace-driven simulation) and by the
+// CRISP software pipeline's tracer.
+package emu
+
+import (
+	"fmt"
+
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+// DynInst is one dynamic instruction: a static instruction instance with
+// its resolved effective address, branch outcome, and successor PC. Seq is
+// the dynamic sequence number (0-based retirement order).
+type DynInst struct {
+	Seq    uint64
+	PC     int
+	NextPC int
+	Addr   uint64 // effective address for loads/stores
+	Taken  bool   // outcome for branches (unconditional: true)
+	Inst   *isa.Inst
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, paged byte-addressable memory. The zero value is
+// ready to use. Reads of unbacked addresses return zero.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*[pageSize]byte)} }
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadWord reads the 8-byte little-endian word at addr (may straddle a
+// page boundary).
+func (m *Memory) ReadWord(addr uint64) int64 {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		off := addr & pageMask
+		var v uint64
+		for i := uint64(0); i < 8; i++ {
+			v |= uint64(p[off+i]) << (8 * i)
+		}
+		return int64(v)
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.readByte(addr+i)) << (8 * i)
+	}
+	return int64(v)
+}
+
+// WriteWord writes the 8-byte little-endian word v at addr.
+func (m *Memory) WriteWord(addr uint64, v int64) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		u := uint64(v)
+		for i := uint64(0); i < 8; i++ {
+			p[off+i] = byte(u >> (8 * i))
+		}
+		return
+	}
+	u := uint64(v)
+	for i := uint64(0); i < 8; i++ {
+		m.writeByte(addr+i, byte(u>>(8*i)))
+	}
+}
+
+func (m *Memory) readByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+func (m *Memory) writeByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Pages returns the number of resident pages (for footprint reporting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Emulator executes a program functionally, one instruction per Step.
+type Emulator struct {
+	prog *program.Program
+	mem  *Memory
+	regs [isa.NumRegs]int64
+	pc   int
+	seq  uint64
+	done bool
+}
+
+// New returns an emulator positioned at entry PC 0 of prog, using mem as
+// its data memory (workloads pre-populate it). A nil mem allocates a fresh
+// one.
+func New(prog *program.Program, mem *Memory) *Emulator {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &Emulator{prog: prog, mem: mem}
+}
+
+// Mem returns the emulator's data memory.
+func (e *Emulator) Mem() *Memory { return e.mem }
+
+// Reg returns the current architectural value of r.
+func (e *Emulator) Reg(r isa.Reg) int64 { return e.regs[r] }
+
+// SetReg sets an architectural register (used by workload setup to pass
+// base pointers and sizes).
+func (e *Emulator) SetReg(r isa.Reg, v int64) { e.regs[r] = v }
+
+// Done reports whether the program has executed Halt.
+func (e *Emulator) Done() bool { return e.done }
+
+// PC returns the PC of the next instruction to execute.
+func (e *Emulator) PC() int { return e.pc }
+
+// Step executes one instruction and returns its dynamic record. ok is
+// false once the program has halted. Step panics on a control-flow transfer
+// outside the program, which indicates a broken kernel.
+func (e *Emulator) Step() (d DynInst, ok bool) {
+	if e.done {
+		return DynInst{}, false
+	}
+	if e.pc < 0 || e.pc >= e.prog.Len() {
+		panic(fmt.Sprintf("emu: pc %d out of range in %q", e.pc, e.prog.Name))
+	}
+	in := &e.prog.Insts[e.pc]
+	d = DynInst{Seq: e.seq, PC: e.pc, Inst: in}
+	e.seq++
+	next := e.pc + 1
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		e.regs[in.Dst] = e.regs[in.Src1] + e.regs[in.Src2]
+	case isa.OpAddI:
+		e.regs[in.Dst] = e.regs[in.Src1] + in.Imm
+	case isa.OpSub:
+		e.regs[in.Dst] = e.regs[in.Src1] - e.regs[in.Src2]
+	case isa.OpMul:
+		e.regs[in.Dst] = e.regs[in.Src1] * e.regs[in.Src2]
+	case isa.OpDiv:
+		if v := e.regs[in.Src2]; v != 0 {
+			e.regs[in.Dst] = e.regs[in.Src1] / v
+		} else {
+			e.regs[in.Dst] = 0
+		}
+	case isa.OpRem:
+		if v := e.regs[in.Src2]; v != 0 {
+			e.regs[in.Dst] = e.regs[in.Src1] % v
+		} else {
+			e.regs[in.Dst] = 0
+		}
+	case isa.OpAnd:
+		e.regs[in.Dst] = e.regs[in.Src1] & e.regs[in.Src2]
+	case isa.OpOr:
+		e.regs[in.Dst] = e.regs[in.Src1] | e.regs[in.Src2]
+	case isa.OpXor:
+		e.regs[in.Dst] = e.regs[in.Src1] ^ e.regs[in.Src2]
+	case isa.OpShl:
+		e.regs[in.Dst] = e.regs[in.Src1] << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		e.regs[in.Dst] = int64(uint64(e.regs[in.Src1]) >> (uint64(in.Imm) & 63))
+	case isa.OpMov:
+		e.regs[in.Dst] = e.regs[in.Src1]
+	case isa.OpMovI:
+		e.regs[in.Dst] = in.Imm
+	case isa.OpFAdd:
+		e.regs[in.Dst] = e.regs[in.Src1] + e.regs[in.Src2]
+	case isa.OpFMul:
+		e.regs[in.Dst] = e.regs[in.Src1] * e.regs[in.Src2]
+	case isa.OpFDiv:
+		if v := e.regs[in.Src2]; v != 0 {
+			e.regs[in.Dst] = e.regs[in.Src1] / v
+		} else {
+			e.regs[in.Dst] = 0
+		}
+	case isa.OpLoad:
+		addr := uint64(e.regs[in.Src1]) + in.Imm64()
+		if in.Src2.Valid() && in.Scale != 0 {
+			addr += uint64(e.regs[in.Src2]) * uint64(in.Scale)
+		}
+		d.Addr = addr
+		e.regs[in.Dst] = e.mem.ReadWord(addr)
+	case isa.OpStore:
+		addr := uint64(e.regs[in.Src1]) + in.Imm64()
+		d.Addr = addr
+		e.mem.WriteWord(addr, e.regs[in.Src2])
+	case isa.OpBeq:
+		d.Taken = e.regs[in.Src1] == e.src2OrZero(in)
+		if d.Taken {
+			next = in.Target
+		}
+	case isa.OpBne:
+		d.Taken = e.regs[in.Src1] != e.src2OrZero(in)
+		if d.Taken {
+			next = in.Target
+		}
+	case isa.OpBlt:
+		d.Taken = e.regs[in.Src1] < e.src2OrZero(in)
+		if d.Taken {
+			next = in.Target
+		}
+	case isa.OpBge:
+		d.Taken = e.regs[in.Src1] >= e.src2OrZero(in)
+		if d.Taken {
+			next = in.Target
+		}
+	case isa.OpJmp:
+		d.Taken = true
+		next = in.Target
+	case isa.OpCall:
+		d.Taken = true
+		e.regs[in.Dst] = int64(e.pc + 1)
+		next = in.Target
+	case isa.OpRet:
+		d.Taken = true
+		next = int(e.regs[in.Src1])
+	case isa.OpHalt:
+		e.done = true
+		next = e.pc
+	default:
+		panic(fmt.Sprintf("emu: unknown op %v at pc %d", in.Op, e.pc))
+	}
+
+	d.NextPC = next
+	e.pc = next
+	return d, true
+}
+
+func (e *Emulator) src2OrZero(in *isa.Inst) int64 {
+	if in.Src2.Valid() {
+		return e.regs[in.Src2]
+	}
+	return 0
+}
+
+// Run executes up to limit instructions (or to Halt if limit <= 0) and
+// returns the number executed.
+func (e *Emulator) Run(limit uint64) uint64 {
+	var n uint64
+	for limit <= 0 || n < limit {
+		if _, ok := e.Step(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	addrs := []uint64{0, 8, 4096, 4090, 1 << 40, (1 << 40) + 4093}
+	for i, a := range addrs {
+		want := int64(0x0102030405060708)*int64(i+1) - 7
+		m.WriteWord(a, want)
+		if got := m.ReadWord(a); got != want {
+			t.Errorf("ReadWord(%#x) = %#x, want %#x", a, got, want)
+		}
+	}
+}
+
+func TestMemoryZeroDefault(t *testing.T) {
+	m := NewMemory()
+	if got := m.ReadWord(0xdeadbeef); got != 0 {
+		t.Errorf("unbacked read = %d, want 0", got)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads allocated pages: %d", m.Pages())
+	}
+}
+
+func TestMemoryRoundTripQuick(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v int64) bool {
+		addr &= (1 << 44) - 1 // keep page map small-ish
+		m.WriteWord(addr, v)
+		return m.ReadWord(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryPageStraddle(t *testing.T) {
+	m := NewMemory()
+	// A write straddling a page boundary must not clobber neighbours.
+	m.WriteWord(4096-8, 0x1111111111111111)
+	m.WriteWord(4096-4, -1)
+	m.WriteWord(4096+4, 0x2222222222222222)
+	if got := m.ReadWord(4096 - 4); got != -1 {
+		t.Errorf("straddle read = %#x", got)
+	}
+}
+
+// sumProgram computes sum of 0..n-1 in r1.
+func sumProgram(t *testing.T, n int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("sum")
+	b.MovI(isa.R(1), 0) // acc
+	b.MovI(isa.R(2), 0) // i
+	b.MovI(isa.R(3), n)
+	b.Label("loop")
+	b.Add(isa.R(1), isa.R(1), isa.R(2))
+	b.AddI(isa.R(2), isa.R(2), 1)
+	b.Blt(isa.R(2), isa.R(3), "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestEmulatorArithmeticLoop(t *testing.T) {
+	e := New(sumProgram(t, 100), nil)
+	n := e.Run(0)
+	if !e.Done() {
+		t.Fatalf("program did not halt after %d insts", n)
+	}
+	if got := e.Reg(isa.R(1)); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+	// 3 movi + 100 iterations * 3 + halt
+	if want := uint64(3 + 300 + 1); n != want {
+		t.Errorf("executed %d insts, want %d", n, want)
+	}
+}
+
+func TestEmulatorLoadStore(t *testing.T) {
+	b := program.NewBuilder("ls")
+	b.MovI(isa.R(1), 0x1000)
+	b.MovI(isa.R(2), 42)
+	b.Store(isa.R(1), 8, isa.R(2))
+	b.Load(isa.R(3), isa.R(1), 8)
+	b.MovI(isa.R(4), 2)
+	b.LoadIdx(isa.R(5), isa.R(1), isa.R(4), 0, 8) // scale 0: plain base+disp
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if got := e.Reg(isa.R(3)); got != 42 {
+		t.Errorf("loaded %d, want 42", got)
+	}
+	if got := e.Reg(isa.R(5)); got != 42 {
+		t.Errorf("scale-0 indexed load = %d, want 42", got)
+	}
+}
+
+func TestEmulatorIndexedLoad(t *testing.T) {
+	mem := NewMemory()
+	for i := int64(0); i < 10; i++ {
+		mem.WriteWord(uint64(0x2000+8*i), i*i)
+	}
+	b := program.NewBuilder("idx")
+	b.MovI(isa.R(1), 0x2000)
+	b.MovI(isa.R(2), 7)
+	b.LoadIdx(isa.R(3), isa.R(1), isa.R(2), 8, 0)
+	b.Halt()
+	e := New(b.MustBuild(), mem)
+	e.Run(0)
+	if got := e.Reg(isa.R(3)); got != 49 {
+		t.Errorf("indexed load = %d, want 49", got)
+	}
+}
+
+func TestEmulatorBranchOutcomes(t *testing.T) {
+	p := sumProgram(t, 3)
+	e := New(p, nil)
+	var branches []DynInst
+	for {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		if d.Inst.Op.IsCondBranch() {
+			branches = append(branches, d)
+		}
+	}
+	if len(branches) != 3 {
+		t.Fatalf("saw %d branch executions, want 3", len(branches))
+	}
+	for i, d := range branches[:2] {
+		if !d.Taken || d.NextPC != p.Label("loop") {
+			t.Errorf("branch %d: taken=%v next=%d, want taken to loop", i, d.Taken, d.NextPC)
+		}
+	}
+	if last := branches[2]; last.Taken {
+		t.Errorf("final branch taken, want fall-through")
+	}
+}
+
+func TestEmulatorCallRet(t *testing.T) {
+	b := program.NewBuilder("fn")
+	b.MovI(isa.R(1), 5)
+	b.Call("double", isa.R(31))
+	b.Mov(isa.R(3), isa.R(2))
+	b.Halt()
+	b.Label("double")
+	b.Add(isa.R(2), isa.R(1), isa.R(1))
+	b.Ret(isa.R(31))
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if got := e.Reg(isa.R(3)); got != 10 {
+		t.Errorf("call/ret result = %d, want 10", got)
+	}
+}
+
+func TestEmulatorDivByZero(t *testing.T) {
+	b := program.NewBuilder("div0")
+	b.MovI(isa.R(1), 7)
+	b.MovI(isa.R(2), 0)
+	b.Div(isa.R(3), isa.R(1), isa.R(2))
+	b.Rem(isa.R(4), isa.R(1), isa.R(2))
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if e.Reg(isa.R(3)) != 0 || e.Reg(isa.R(4)) != 0 {
+		t.Errorf("div/rem by zero = %d/%d, want 0/0", e.Reg(isa.R(3)), e.Reg(isa.R(4)))
+	}
+}
+
+func TestEmulatorSeqNumbersAndHalt(t *testing.T) {
+	e := New(sumProgram(t, 2), nil)
+	var prev uint64
+	first := true
+	for {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		if !first && d.Seq != prev+1 {
+			t.Fatalf("seq %d after %d", d.Seq, prev)
+		}
+		prev, first = d.Seq, false
+	}
+	if _, ok := e.Step(); ok {
+		t.Errorf("Step after halt returned ok")
+	}
+	if _, ok := e.Step(); ok {
+		t.Errorf("second Step after halt returned ok")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := New(sumProgram(t, 1000000), nil)
+	if n := e.Run(10); n != 10 {
+		t.Errorf("Run(10) = %d", n)
+	}
+	if e.Done() {
+		t.Errorf("Done after limited run")
+	}
+}

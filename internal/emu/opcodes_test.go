@@ -1,0 +1,184 @@
+package emu
+
+import (
+	"testing"
+
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+// evalBinary runs a single two-source op with the given inputs and returns
+// the architectural result.
+func evalBinary(t *testing.T, op isa.Op, a, b int64) int64 {
+	t.Helper()
+	bld := program.NewBuilder("op")
+	bld.Emit(isa.Inst{Op: op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.R(2)})
+	bld.Halt()
+	e := New(bld.MustBuild(), nil)
+	e.SetReg(isa.R(1), a)
+	e.SetReg(isa.R(2), b)
+	e.Run(0)
+	return e.Reg(isa.R(3))
+}
+
+func TestBinaryOpSemantics(t *testing.T) {
+	tests := []struct {
+		op   isa.Op
+		a, b int64
+		want int64
+	}{
+		{isa.OpAdd, 5, 7, 12},
+		{isa.OpAdd, -5, 2, -3},
+		{isa.OpSub, 5, 7, -2},
+		{isa.OpMul, -3, 4, -12},
+		{isa.OpDiv, 20, 6, 3},
+		{isa.OpDiv, -20, 6, -3},
+		{isa.OpDiv, 20, 0, 0},
+		{isa.OpRem, 20, 6, 2},
+		{isa.OpRem, 20, 0, 0},
+		{isa.OpAnd, 0b1100, 0b1010, 0b1000},
+		{isa.OpOr, 0b1100, 0b1010, 0b1110},
+		{isa.OpXor, 0b1100, 0b1010, 0b0110},
+		{isa.OpFAdd, 10, 3, 13},
+		{isa.OpFMul, 10, 3, 30},
+		{isa.OpFDiv, 10, 3, 3},
+		{isa.OpFDiv, 10, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := evalBinary(t, tt.op, tt.a, tt.b); got != tt.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func evalImm(t *testing.T, op isa.Op, a, imm int64) int64 {
+	t.Helper()
+	bld := program.NewBuilder("op")
+	bld.Emit(isa.Inst{Op: op, Dst: isa.R(3), Src1: isa.R(1), Src2: isa.NoReg, Imm: imm})
+	bld.Halt()
+	e := New(bld.MustBuild(), nil)
+	e.SetReg(isa.R(1), a)
+	e.Run(0)
+	return e.Reg(isa.R(3))
+}
+
+func TestImmediateOpSemantics(t *testing.T) {
+	tests := []struct {
+		op     isa.Op
+		a, imm int64
+		want   int64
+	}{
+		{isa.OpAddI, 5, 7, 12},
+		{isa.OpAddI, 5, -7, -2},
+		{isa.OpShl, 3, 4, 48},
+		{isa.OpShl, 1, 63, -9223372036854775808},
+		{isa.OpShr, -1, 60, 15},
+		{isa.OpShr, 256, 4, 16},
+		{isa.OpMovI, 99, 42, 42},
+		{isa.OpMov, -7, 0, -7},
+	}
+	for _, tt := range tests {
+		if got := evalImm(t, tt.op, tt.a, tt.imm); got != tt.want {
+			t.Errorf("%v(%d, imm %d) = %d, want %d", tt.op, tt.a, tt.imm, got, tt.want)
+		}
+	}
+}
+
+func TestConditionalBranchSemantics(t *testing.T) {
+	tests := []struct {
+		op    isa.Op
+		a, b  int64
+		taken bool
+	}{
+		{isa.OpBeq, 3, 3, true},
+		{isa.OpBeq, 3, 4, false},
+		{isa.OpBne, 3, 4, true},
+		{isa.OpBne, 3, 3, false},
+		{isa.OpBlt, -1, 0, true},
+		{isa.OpBlt, 0, 0, false},
+		{isa.OpBlt, 1, 0, false},
+		{isa.OpBge, 0, 0, true},
+		{isa.OpBge, -1, 0, false},
+		{isa.OpBge, 5, 4, true},
+	}
+	for _, tt := range tests {
+		b := program.NewBuilder("br")
+		b.Emit(isa.Inst{Op: tt.op, Dst: isa.NoReg, Src1: isa.R(1), Src2: isa.R(2), Target: 2})
+		b.Halt()            // fall-through
+		b.MovI(isa.R(5), 1) // pc 2: the taken target
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(p, nil)
+		e.SetReg(isa.R(1), tt.a)
+		e.SetReg(isa.R(2), tt.b)
+		e.Run(0)
+		got := e.Reg(isa.R(5)) == 1
+		if got != tt.taken {
+			t.Errorf("%v(%d, %d): taken = %v, want %v", tt.op, tt.a, tt.b, got, tt.taken)
+		}
+	}
+}
+
+func TestBranchAgainstImplicitZero(t *testing.T) {
+	// Conditional branches with Src2 == NoReg compare against zero.
+	b := program.NewBuilder("z")
+	b.MovI(isa.R(1), -5)
+	b.Emit(isa.Inst{Op: isa.OpBlt, Dst: isa.NoReg, Src1: isa.R(1), Src2: isa.NoReg, Target: 3})
+	b.Halt()
+	b.MovI(isa.R(5), 1)
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if e.Reg(isa.R(5)) != 1 {
+		t.Errorf("blt r1, <zero> with r1=-5 not taken")
+	}
+}
+
+func TestNopAndHalt(t *testing.T) {
+	b := program.NewBuilder("nh")
+	b.Nop()
+	b.Nop()
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	if n := e.Run(0); n != 3 {
+		t.Errorf("ran %d insts, want 3", n)
+	}
+	if !e.Done() {
+		t.Errorf("not done after halt")
+	}
+}
+
+func TestJmpSemantics(t *testing.T) {
+	b := program.NewBuilder("jmp")
+	b.Jmp("over")
+	b.MovI(isa.R(5), 99) // skipped
+	b.Label("over")
+	b.MovI(isa.R(6), 1)
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if e.Reg(isa.R(5)) != 0 || e.Reg(isa.R(6)) != 1 {
+		t.Errorf("jmp did not skip: r5=%d r6=%d", e.Reg(isa.R(5)), e.Reg(isa.R(6)))
+	}
+}
+
+func TestAddressWraparound(t *testing.T) {
+	// Negative displacement addressing.
+	b := program.NewBuilder("neg")
+	b.MovI(isa.R(1), 0x1040)
+	b.MovI(isa.R(2), 77)
+	b.Store(isa.R(1), -64, isa.R(2))
+	b.Load(isa.R(3), isa.R(1), -64)
+	b.Halt()
+	e := New(b.MustBuild(), nil)
+	e.Run(0)
+	if e.Reg(isa.R(3)) != 77 {
+		t.Errorf("negative-displacement round trip = %d", e.Reg(isa.R(3)))
+	}
+	if e.Mem().ReadWord(0x1000) != 77 {
+		t.Errorf("store landed at wrong address")
+	}
+}

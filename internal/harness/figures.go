@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"fmt"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+// Figure1 reproduces the UPC-over-time microbenchmark comparison: µops
+// retired per cycle in fixed windows for OOO and CRISP on the
+// pointer-chase kernel. Columns: window index, OOO UPC, CRISP UPC.
+func (l *Lab) Figure1(window int, windows int) *Table {
+	return l.Figure1Skip(window, windows, 0)
+}
+
+// Figure1Skip is Figure1 with the first `skip` windows (cache and
+// predictor warmup) omitted.
+func (l *Lab) Figure1Skip(window, windows, skip int) *Table {
+	w := workload.ByName("pointerchase")
+	cfg := l.Cfg
+	cfg.Core.UPCWindow = window
+
+	a := l.Analyze(w, crisp.DefaultOptions())
+
+	base := sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
+	img := w.Build(workload.Ref)
+	img.Prog = a.Apply(img.Prog)
+	cr := sim.Run(img, cfg.WithSched(core.SchedCRISP))
+
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 1: UPC per %d-cycle window, pointer-chase µbench", window),
+		Columns: []string{"window", "ooo_upc", "crisp_upc"},
+	}
+	n := min(len(base.UPCWindows), len(cr.UPCWindows))
+	if skip >= n {
+		skip = 0
+	}
+	if windows > 0 && n > skip+windows {
+		n = skip + windows
+	}
+	for i := skip; i < n; i++ {
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("w%03d", i),
+			Cells: []float64{base.UPCWindows[i], cr.UPCWindows[i]},
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean UPC: OOO %.3f CRISP %.3f (+%.1f%%)", base.IPC(), cr.IPC(), gain(cr, base)))
+	return t
+}
+
+// Figure4 reports the average dynamic load-slice size per application
+// (pre-filter), extracted by the software slicer.
+func (l *Lab) Figure4() *Table {
+	t := &Table{
+		Title:   "Figure 4: average load slice size (dynamic instructions)",
+		Columns: []string{"app", "avg_slice"},
+	}
+	opts := crisp.DefaultOptions()
+	opts.FilterCriticalPath = false
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		a := l.Analyze(w, opts)
+		return Row{Label: w.Name, Cells: []float64{a.AvgLoadSliceDynLen}}
+	})
+	return t
+}
+
+// Figure7 compares CRISP and IBDA (1K/8K/64K/infinite IST) IPC gains over
+// the OOO baseline, in percent.
+func (l *Lab) Figure7() *Table {
+	t := &Table{
+		Title:   "Figure 7: IPC improvement over OOO baseline (%)",
+		Columns: []string{"app", "crisp", "ibda_1k", "ibda_8k", "ibda_64k", "ibda_inf"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		base := l.Baseline(w, l.Cfg, "default")
+		a := l.Analyze(w, crisp.DefaultOptions())
+		cr := l.RunCRISP(w, a, l.Cfg)
+		i1 := l.RunIBDA(w, 1024, 4, l.Cfg)
+		i8 := l.RunIBDA(w, 8192, 8, l.Cfg)
+		i64 := l.RunIBDA(w, 65536, 16, l.Cfg)
+		iInf := l.RunIBDA(w, 0, 0, l.Cfg)
+		return Row{Label: w.Name, Cells: []float64{
+			gain(cr, base), gain(i1, base), gain(i8, base), gain(i64, base), gain(iInf, base),
+		}}
+	})
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("geomean: crisp %+.2f%%, ibda_1k %+.2f%%", t.GeoMeanGain(0), t.GeoMeanGain(1)))
+	return t
+}
+
+// Figure8 isolates load slices, branch slices, and their combination.
+func (l *Lab) Figure8() *Table {
+	t := &Table{
+		Title:   "Figure 8: slice-kind contribution, IPC gain over OOO (%)",
+		Columns: []string{"app", "load_only", "branch_only", "combined"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		base := l.Baseline(w, l.Cfg, "default")
+		lo := crisp.DefaultOptions()
+		lo.BranchSlices = false
+		bo := crisp.DefaultOptions()
+		bo.LoadSlices = false
+		both := crisp.DefaultOptions()
+		rl := l.RunCRISP(w, l.Analyze(w, lo), l.Cfg)
+		rb := l.RunCRISP(w, l.Analyze(w, bo), l.Cfg)
+		rc := l.RunCRISP(w, l.Analyze(w, both), l.Cfg)
+		return Row{Label: w.Name, Cells: []float64{gain(rl, base), gain(rb, base), gain(rc, base)}}
+	})
+	return t
+}
+
+// windowConfigs are the Figure 9 RS/ROB sweep points (Skylake-like 96/224
+// baseline, then +50% and +100%, plus the smaller 64/180 point).
+var windowConfigs = []struct {
+	Name    string
+	RS, ROB int
+}{
+	{"64rs_180rob", 64, 180},
+	{"96rs_224rob", 96, 224},
+	{"144rs_336rob", 144, 336},
+	{"192rs_448rob", 192, 448},
+}
+
+// Figure9 sweeps reservation-station and ROB sizes.
+func (l *Lab) Figure9() *Table {
+	t := &Table{
+		Title:   "Figure 9: CRISP IPC gain (%) vs RS/ROB size",
+		Columns: []string{"app"},
+	}
+	for _, wc := range windowConfigs {
+		t.Columns = append(t.Columns, wc.Name)
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		a := l.Analyze(w, crisp.DefaultOptions())
+		row := Row{Label: w.Name}
+		for _, wc := range windowConfigs {
+			cfg := l.Cfg.WithWindow(wc.RS, wc.ROB)
+			base := l.Baseline(w, cfg, wc.Name)
+			cr := l.RunCRISP(w, a, cfg)
+			row.Cells = append(row.Cells, gain(cr, base))
+		}
+		return row
+	})
+	return t
+}
+
+// Figure10 sweeps the miss-share criticality threshold T (Section 5.5).
+func (l *Lab) Figure10() *Table {
+	ts := []float64{0.05, 0.01, 0.002}
+	t := &Table{
+		Title:   "Figure 10: CRISP IPC gain (%) vs miss-share threshold T",
+		Columns: []string{"app", "T=5%", "T=1%", "T=0.2%"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		base := l.Baseline(w, l.Cfg, "default")
+		row := Row{Label: w.Name}
+		for _, thr := range ts {
+			opts := crisp.DefaultOptions()
+			opts.MissShareThreshold = thr
+			cr := l.RunCRISP(w, l.Analyze(w, opts), l.Cfg)
+			row.Cells = append(row.Cells, gain(cr, base))
+		}
+		return row
+	})
+	for i := range ts {
+		t.Notes = append(t.Notes, fmt.Sprintf("geomean %s: %+.2f%%", t.Columns[i+1], t.GeoMeanGain(i)))
+	}
+	return t
+}
+
+// Figure11 reports the number of unique critical (tagged) static
+// instructions per application.
+func (l *Lab) Figure11() *Table {
+	t := &Table{
+		Title:   "Figure 11: unique critical instructions",
+		Columns: []string{"app", "critical_pcs", "dyn_fraction"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		a := l.Analyze(w, crisp.DefaultOptions())
+		return Row{Label: w.Name, Cells: []float64{
+			float64(len(a.CriticalPCs)), a.DynCriticalFraction,
+		}}
+	})
+	return t
+}
+
+// Figure12 reports the prefix footprint overheads: static and dynamic code
+// size increase (%) and the instruction-cache MPKI delta (%) between
+// untagged and tagged CRISP runs.
+func (l *Lab) Figure12() *Table {
+	t := &Table{
+		Title:   "Figure 12: critical-prefix footprint overhead",
+		Columns: []string{"app", "static_pct", "dynamic_pct", "icache_mpki_pct"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		a := l.Analyze(w, crisp.DefaultOptions())
+		_, tr := l.train(w)
+		fp := crisp.MeasureFootprint(w.Build(workload.Train).Prog, tr, a.CriticalPCs)
+
+		base := l.Baseline(w, l.Cfg, "default")
+		cr := l.RunCRISP(w, a, l.Cfg)
+		dMPKI := 0.0
+		if base.L1IMPKI() > 0 {
+			dMPKI = (cr.L1IMPKI()/base.L1IMPKI() - 1) * 100
+		}
+		return Row{Label: w.Name, Cells: []float64{
+			fp.StaticOverhead() * 100, fp.DynOverhead() * 100, dMPKI,
+		}}
+	})
+	return t
+}
+
+// Table1 renders the simulated system configuration.
+func (l *Lab) Table1() string {
+	c := l.Cfg
+	return fmt.Sprintf(`== Table 1: simulated system ==
+Frontend width / retirement    %d-way
+Functional units               %d ALU, %d load, %d store
+Branch predictor               TAGE
+BTB                            %d entries, %d-way
+ROB                            %d entries
+Reservation station            %d entries (unified)
+Baseline scheduler             %d-oldest-ready-instructions-first
+Data prefetcher                %s
+Instruction prefetcher         FDIP, FTQ %d entries
+Load buffer                    %d entries
+Store buffer                   %d entries
+L1I                            %d KiB, %d-way, %d cycles
+L1D                            %d KiB, %d-way, %d cycles
+LLC                            %d KiB, %d-way, %d cycles
+Memory                         DDR4-2400-like, 1 channel, %d banks
+`,
+		c.Core.FetchWidth,
+		c.Core.Ports[0], c.Core.Ports[1], c.Core.Ports[2],
+		c.Core.BTBEntries, c.Core.BTBWays,
+		c.Core.ROBSize, c.Core.RSSize, c.Core.FetchWidth,
+		c.Prefetcher, c.Core.FTQSize,
+		c.Core.LoadQueue, c.Core.StoreQueue,
+		c.Hier.L1I.SizeKiB, c.Hier.L1I.Ways, c.Hier.L1I.Latency,
+		c.Hier.L1D.SizeKiB, c.Hier.L1D.Ways, c.Hier.L1D.Latency,
+		c.Hier.LLC.SizeKiB, c.Hier.LLC.Ways, c.Hier.LLC.Latency,
+		c.Hier.DRAM.Banks)
+}
+
+// Section31 reproduces the motivating measurement of Section 3.1: the
+// pointer-chase kernel's IPC under the baseline against the same kernel
+// with its critical slice hoisted (our CRISP run stands in for the manual
+// prefetch insertion).
+func (l *Lab) Section31() *Table {
+	w := workload.ByName("pointerchase")
+	base := l.Baseline(w, l.Cfg, "default")
+	a := l.Analyze(w, crisp.DefaultOptions())
+	cr := l.RunCRISP(w, a, l.Cfg)
+	t := &Table{
+		Title:   "Section 3.1: pointer-chase kernel, baseline vs hoisted slice",
+		Columns: []string{"config", "ipc"},
+		Rows: []Row{
+			{Label: "baseline", Cells: []float64{base.IPC()}},
+			{Label: "hoisted", Cells: []float64{cr.IPC()}},
+		},
+	}
+	return t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PrefetcherSensitivity reproduces the Section 5.1 observation that
+// CRISP's improvement is similar regardless of the baseline data
+// prefetcher (the paper reports BOP, plain stride, and GHB baselines).
+func (l *Lab) PrefetcherSensitivity() *Table {
+	kinds := []sim.PrefetcherKind{sim.PFBOPStream, sim.PFStride, sim.PFGHB, sim.PFNone}
+	t := &Table{
+		Title:   "Section 5.1: CRISP IPC gain (%) vs baseline prefetcher",
+		Columns: []string{"app", "bop+stream", "stride", "ghb", "none"},
+	}
+	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
+		a := l.Analyze(w, crisp.DefaultOptions())
+		row := Row{Label: w.Name}
+		for _, k := range kinds {
+			cfg := l.Cfg
+			cfg.Prefetcher = k
+			base := l.Baseline(w, cfg, "pf_"+k.String())
+			cr := l.RunCRISP(w, a, cfg)
+			row.Cells = append(row.Cells, gain(cr, base))
+		}
+		return row
+	})
+	return t
+}

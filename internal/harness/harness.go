@@ -1,0 +1,219 @@
+// Package harness drives the paper's experiments: one driver per table and
+// figure of the evaluation (Section 5), producing aligned-text and CSV
+// tables. The Lab caches profiling runs, traces, and baselines so that
+// figures sharing inputs do not recompute them.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/ibda"
+	"crisp/internal/sim"
+	"crisp/internal/trace"
+	"crisp/internal/workload"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title   string
+	Columns []string // first column is the row label
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	fmt.Fprintf(&b, "%-14s", t.Columns[0])
+	for _, c := range t.Columns[1:] {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, " %12.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMeanGain returns the geometric mean of (1+cell/100) minus 1, in
+// percent, over the given column index — the "average speedup" the paper
+// quotes.
+func (t *Table) GeoMeanGain(col int) float64 {
+	prod := 1.0
+	n := 0
+	for _, r := range t.Rows {
+		if col < len(r.Cells) {
+			prod *= 1 + r.Cells[col]/100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return (math.Pow(prod, 1/float64(n)) - 1) * 100
+}
+
+// Lab runs and caches simulations for the experiment drivers.
+type Lab struct {
+	Cfg   sim.Config
+	Insts uint64 // instruction budget per timing run
+	// Only, when non-empty, restricts suite figures to these workloads
+	// (used by tests and quick runs).
+	Only []string
+
+	mu        sync.Mutex
+	trainProf map[string]*core.Result
+	trainTr   map[string]*trace.Trace
+	baselines map[string]*core.Result
+}
+
+// NewLab returns a Lab over the Table 1 configuration with the given
+// per-run instruction budget.
+func NewLab(insts uint64) *Lab {
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = insts
+	return &Lab{
+		Cfg:       cfg,
+		Insts:     insts,
+		trainProf: make(map[string]*core.Result),
+		trainTr:   make(map[string]*trace.Trace),
+		baselines: make(map[string]*core.Result),
+	}
+}
+
+// train returns the cached profiling run and trace for a workload's train
+// input.
+func (l *Lab) train(w *workload.Workload) (*core.Result, *trace.Trace) {
+	l.mu.Lock()
+	prof, ok := l.trainProf[w.Name]
+	tr := l.trainTr[w.Name]
+	l.mu.Unlock()
+	if ok {
+		return prof, tr
+	}
+	prof = sim.Run(w.Build(workload.Train), l.Cfg.WithSched(core.SchedOldestFirst))
+	tr = sim.CaptureTrace(w.Build(workload.Train), l.Insts)
+	l.mu.Lock()
+	l.trainProf[w.Name] = prof
+	l.trainTr[w.Name] = tr
+	l.mu.Unlock()
+	return prof, tr
+}
+
+// Analyze runs the CRISP software pipeline for a workload using cached
+// profile and trace.
+func (l *Lab) Analyze(w *workload.Workload, opts crisp.Options) *crisp.Analysis {
+	prof, tr := l.train(w)
+	return crisp.Analyze(prof, tr, w.Build(workload.Train).Prog, opts)
+}
+
+// Baseline returns the cached OOO run on the ref input under cfg key.
+func (l *Lab) Baseline(w *workload.Workload, cfg sim.Config, key string) *core.Result {
+	k := w.Name + "/" + key
+	l.mu.Lock()
+	r, ok := l.baselines[k]
+	l.mu.Unlock()
+	if ok {
+		return r
+	}
+	r = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
+	l.mu.Lock()
+	l.baselines[k] = r
+	l.mu.Unlock()
+	return r
+}
+
+// RunCRISP runs the ref input with the analysis's tags under the CRISP
+// scheduler.
+func (l *Lab) RunCRISP(w *workload.Workload, a *crisp.Analysis, cfg sim.Config) *core.Result {
+	img := w.Build(workload.Ref)
+	img.Prog = a.Apply(img.Prog)
+	return sim.Run(img, cfg.WithSched(core.SchedCRISP))
+}
+
+// RunIBDA runs the ref input with runtime IBDA marking under the CRISP
+// scheduler.
+func (l *Lab) RunIBDA(w *workload.Workload, istEntries, istWays int, cfg sim.Config) *core.Result {
+	c := cfg.WithSched(core.SchedCRISP)
+	c.IBDA = &ibda.Config{ISTEntries: istEntries, ISTWays: istWays, DLTEntries: 32}
+	return sim.Run(w.Build(workload.Ref), c)
+}
+
+// gain returns the IPC improvement of r over base in percent.
+func gain(r, base *core.Result) float64 { return (r.IPC()/base.IPC() - 1) * 100 }
+
+// forEach runs f for every workload in the suite concurrently and
+// collects rows in suite order.
+func (l *Lab) forEach(names []string, f func(w *workload.Workload) Row) []Row {
+	rows := make([]Row, len(names))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, w := i, workload.ByName(name)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i] = f(w)
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// suite returns the workload names a figure should cover.
+func (l *Lab) suite() []string {
+	if len(l.Only) > 0 {
+		return l.Only
+	}
+	return SuiteNames()
+}
+
+// SuiteNames returns the evaluation applications (the Fig 7 x-axis): all
+// workloads except the microbenchmark.
+func SuiteNames() []string {
+	var names []string
+	for _, w := range workload.All() {
+		if w.Name == "pointerchase" {
+			continue
+		}
+		names = append(names, w.Name)
+	}
+	return names
+}

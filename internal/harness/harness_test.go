@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"crisp/internal/crisp"
+	"crisp/internal/workload"
+)
+
+func testLab() *Lab {
+	l := NewLab(60_000)
+	l.Only = []string{"mcf", "lbm"}
+	return l
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "test",
+		Columns: []string{"app", "a", "b"},
+		Rows: []Row{
+			{Label: "x", Cells: []float64{1.5, -2}},
+			{Label: "y", Cells: []float64{0, 3.25}},
+		},
+		Notes: []string{"note"},
+	}
+	s := tab.Format()
+	for _, want := range []string{"== test ==", "x", "y", "# note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "app,a,b\n") || !strings.Contains(csv, "x,1.5,-2") {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestGeoMeanGain(t *testing.T) {
+	tab := &Table{Rows: []Row{
+		{Cells: []float64{10}},
+		{Cells: []float64{10}},
+	}}
+	if g := tab.GeoMeanGain(0); g < 9.99 || g > 10.01 {
+		t.Errorf("geomean of equal gains = %v, want 10", g)
+	}
+	if g := (&Table{}).GeoMeanGain(0); g != 0 {
+		t.Errorf("empty geomean = %v", g)
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	l := NewLab(40_000)
+	tab := l.Figure1(500, 20)
+	if len(tab.Rows) == 0 || len(tab.Rows) > 20 {
+		t.Fatalf("Figure1 rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 2 {
+			t.Fatalf("row %s has %d cells", r.Label, len(r.Cells))
+		}
+		for _, upc := range r.Cells {
+			if upc < 0 || upc > 6 {
+				t.Errorf("UPC %v outside [0, 6]", upc)
+			}
+		}
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	l := testLab()
+	tab := l.Figure7()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 5 {
+			t.Fatalf("row %s cells = %d, want 5 (crisp + 4 IBDA)", r.Label, len(r.Cells))
+		}
+	}
+	// mcf: CRISP must beat baseline on the chase-heavy workload.
+	if tab.Rows[0].Label != "mcf" || tab.Rows[0].Cells[0] <= 0 {
+		t.Errorf("mcf CRISP gain = %v, want > 0", tab.Rows[0].Cells[0])
+	}
+}
+
+func TestFigure8SliceToggles(t *testing.T) {
+	l := testLab()
+	tab := l.Figure8()
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("row %s cells = %d", r.Label, len(r.Cells))
+		}
+	}
+}
+
+func TestFigure9WindowSweep(t *testing.T) {
+	l := NewLab(60_000)
+	l.Only = []string{"xhpcg"}
+	tab := l.Figure9()
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Cells) != len(windowConfigs) {
+		t.Fatalf("unexpected shape: %+v", tab.Rows)
+	}
+}
+
+func TestFigure10ThresholdMonotonicCandidates(t *testing.T) {
+	l := testLab()
+	tab := l.Figure10()
+	if len(tab.Columns) != 4 {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+}
+
+func TestFigure11And12(t *testing.T) {
+	l := testLab()
+	f11 := l.Figure11()
+	for _, r := range f11.Rows {
+		if r.Cells[0] < 0 || r.Cells[1] < 0 || r.Cells[1] > 1 {
+			t.Errorf("row %s: implausible cells %v", r.Label, r.Cells)
+		}
+	}
+	f12 := l.Figure12()
+	for _, r := range f12.Rows {
+		if r.Cells[0] < 0 || r.Cells[0] > 10 {
+			t.Errorf("row %s: static overhead %v%% implausible", r.Label, r.Cells[0])
+		}
+		if r.Cells[1] < 0 || r.Cells[1] > 50 {
+			t.Errorf("row %s: dynamic overhead %v%% implausible", r.Label, r.Cells[1])
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	s := NewLab(1000).Table1()
+	for _, want := range []string{"224 entries", "96 entries", "TAGE", "bop+stream"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	l := NewLab(30_000)
+	w := workload.ByName("mcf")
+	p1, t1 := l.train(w)
+	p2, t2 := l.train(w)
+	if p1 != p2 || t1 != t2 {
+		t.Errorf("train results not cached")
+	}
+	b1 := l.Baseline(w, l.Cfg, "default")
+	b2 := l.Baseline(w, l.Cfg, "default")
+	if b1 != b2 {
+		t.Errorf("baseline not cached")
+	}
+}
+
+func TestAnalyzeProducesTags(t *testing.T) {
+	l := NewLab(60_000)
+	a := l.Analyze(workload.ByName("mcf"), crisp.DefaultOptions())
+	if len(a.CriticalPCs) == 0 {
+		t.Fatalf("no critical PCs for mcf")
+	}
+}
+
+func TestSection31(t *testing.T) {
+	l := NewLab(50_000)
+	tab := l.Section31()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[1].Cells[0] <= tab.Rows[0].Cells[0] {
+		t.Errorf("hoisted IPC %.3f not above baseline %.3f",
+			tab.Rows[1].Cells[0], tab.Rows[0].Cells[0])
+	}
+}
+
+func TestPrefetcherSensitivity(t *testing.T) {
+	l := NewLab(50_000)
+	l.Only = []string{"mcf"}
+	tab := l.PrefetcherSensitivity()
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Cells) != 4 {
+		t.Fatalf("unexpected shape: %+v", tab.Rows)
+	}
+	// The chase gain should be present regardless of prefetcher.
+	for i, g := range tab.Rows[0].Cells {
+		if g < 0.5 {
+			t.Errorf("mcf gain under %s = %.2f%%, want > 0.5%%", tab.Columns[i+1], g)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package ibda implements the hardware-only baseline the paper compares
+// against (Section 5.2): iterative backwards dependency analysis as in the
+// load-slice architecture (Carlson et al., ISCA 2015). A delinquent load
+// table (DLT) captures the load PCs missing the LLC most frequently; an
+// instruction slice table (IST) accumulates the PCs of their
+// address-generating producers, one dependency level per encounter.
+//
+// IBDA's structural shortcomings versus CRISP emerge from this design
+// rather than being hard-coded:
+//   - it observes dependencies through registers only (the rename-time
+//     producer PCs), so slices through memory are invisible;
+//   - it has no notion of critical-path filtering, so whole slices are
+//     tagged, flooding the PRIO vector for slice-heavy applications;
+//   - IST capacity bounds how much slice it can remember;
+//   - the DLT selects by LLC miss frequency alone, so high-MLP loads that
+//     are not latency-critical are still tagged.
+package ibda
+
+type assocTable struct {
+	sets    int
+	ways    int
+	keys    []int
+	valid   []bool
+	lru     []uint32
+	clock   uint32
+	entries map[int]struct{} // used when infinite
+}
+
+func newAssocTable(entries, ways int) *assocTable {
+	if entries <= 0 {
+		return &assocTable{entries: make(map[int]struct{})}
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &assocTable{
+		sets: sets, ways: ways,
+		keys:  make([]int, sets*ways),
+		valid: make([]bool, sets*ways),
+		lru:   make([]uint32, sets*ways),
+	}
+}
+
+func (t *assocTable) contains(pc int) bool {
+	if t.entries != nil {
+		_, ok := t.entries[pc]
+		return ok
+	}
+	base := (pc % t.sets) * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.keys[base+w] == pc {
+			t.clock++
+			t.lru[base+w] = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (t *assocTable) insert(pc int) {
+	if t.entries != nil {
+		t.entries[pc] = struct{}{}
+		return
+	}
+	base := (pc % t.sets) * t.ways
+	victim := 0
+	for w := 0; w < t.ways; w++ {
+		if !t.valid[base+w] || t.keys[base+w] == pc {
+			victim = w
+			break
+		}
+		if t.lru[base+w] < t.lru[base+victim] {
+			victim = w
+		}
+	}
+	t.clock++
+	t.keys[base+victim] = pc
+	t.valid[base+victim] = true
+	t.lru[base+victim] = t.clock
+}
+
+func (t *assocTable) size() int {
+	if t.entries != nil {
+		return len(t.entries)
+	}
+	n := 0
+	for _, v := range t.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// dltEntry tracks one delinquent load candidate.
+type dltEntry struct {
+	pc    int
+	count uint64
+}
+
+// IBDA is the runtime criticality marker. It implements the core package's
+// Marker interface structurally.
+type IBDA struct {
+	ist     *assocTable
+	dlt     []dltEntry // bounded by dltSize
+	dltSize int
+
+	// Stats.
+	Marked     uint64 // µops tagged critical at dispatch
+	ISTInserts uint64
+}
+
+// Config sizes the hardware structures.
+type Config struct {
+	ISTEntries int // <= 0 means unbounded ("infinite IST")
+	ISTWays    int
+	DLTEntries int
+}
+
+// DefaultConfig returns the paper's primary IBDA configuration: a 1024-entry
+// 4-way IST and a 32-entry delinquent load table.
+func DefaultConfig() Config { return Config{ISTEntries: 1024, ISTWays: 4, DLTEntries: 32} }
+
+// New returns an IBDA engine.
+func New(cfg Config) *IBDA {
+	if cfg.DLTEntries == 0 {
+		cfg.DLTEntries = 32
+	}
+	if cfg.ISTWays == 0 {
+		cfg.ISTWays = 4
+	}
+	return &IBDA{ist: newAssocTable(cfg.ISTEntries, cfg.ISTWays), dltSize: cfg.DLTEntries}
+}
+
+// OnLLCMiss records an LLC demand miss by the load at pc, maintaining the
+// most-frequently-missing set (smallest-count replacement when full).
+func (ib *IBDA) OnLLCMiss(pc int) {
+	for i := range ib.dlt {
+		if ib.dlt[i].pc == pc {
+			ib.dlt[i].count++
+			return
+		}
+	}
+	if len(ib.dlt) < ib.dltSize {
+		ib.dlt = append(ib.dlt, dltEntry{pc: pc, count: 1})
+		return
+	}
+	min := 0
+	for i := range ib.dlt {
+		if ib.dlt[i].count < ib.dlt[min].count {
+			min = i
+		}
+	}
+	// Frequency-style replacement: a newcomer displaces the coldest entry
+	// only once repeated misses have decayed it, so established hot loads
+	// are not evicted by one-off misses.
+	if ib.dlt[min].count <= 1 {
+		ib.dlt[min] = dltEntry{pc: pc, count: 1}
+	} else {
+		ib.dlt[min].count--
+	}
+}
+
+func (ib *IBDA) inDLT(pc int) bool {
+	for i := range ib.dlt {
+		if ib.dlt[i].pc == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDispatch implements the core Marker interface: a µop is critical if
+// its PC is in the IST, or if it is a DLT-resident delinquent load. When a
+// µop is critical, the PCs of its register producers are inserted into the
+// IST — one backward level per encounter, converging over iterations
+// (the "iterative" in IBDA). Producers through memory are not visible.
+func (ib *IBDA) MarkDispatch(pc int, isLoad bool, producers []int) bool {
+	critical := ib.ist.contains(pc) || (isLoad && ib.inDLT(pc))
+	if !critical {
+		return false
+	}
+	ib.Marked++
+	for _, p := range producers {
+		if p >= 0 && !ib.ist.contains(p) {
+			ib.ist.insert(p)
+			ib.ISTInserts++
+		}
+	}
+	return true
+}
+
+// ISTSize returns the current number of valid IST entries.
+func (ib *IBDA) ISTSize() int { return ib.ist.size() }
+
+// DLTSize returns the number of tracked delinquent loads.
+func (ib *IBDA) DLTSize() int { return len(ib.dlt) }

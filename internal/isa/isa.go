@@ -1,0 +1,287 @@
+// Package isa defines the micro-op instruction set executed by the
+// functional emulator and timed by the out-of-order core model.
+//
+// The ISA is a small RISC-style set chosen so that the workload kernels can
+// express the access-pattern classes the paper evaluates (pointer chasing,
+// strided streams, gathers, hash probes, data-dependent branches) while
+// keeping the simulator simple. Every instruction reads at most two source
+// registers and writes at most one destination register. Memory operations
+// access 8-byte words; effective addresses are byte addresses formed as
+// base + index*scale + displacement.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. The machine has NumRegs
+// general-purpose 64-bit registers R0..R31. R0 is not special. NoReg marks
+// an unused operand slot.
+type Reg uint8
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = 0xFF
+
+// R returns the n-th architectural register and panics if out of range.
+func R(n int) Reg {
+	if n < 0 || n >= NumRegs {
+		panic(fmt.Sprintf("isa: register %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// Valid reports whether r names an actual register (not NoReg).
+func (r Reg) Valid() bool { return r < NumRegs }
+
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "--"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Op enumerates micro-op kinds.
+type Op uint8
+
+// Micro-op opcodes.
+const (
+	OpNop Op = iota
+	// Integer ALU.
+	OpAdd  // Dst = Src1 + Src2
+	OpAddI // Dst = Src1 + Imm
+	OpSub  // Dst = Src1 - Src2
+	OpMul  // Dst = Src1 * Src2
+	OpDiv  // Dst = Src1 / Src2 (0 if divisor 0)
+	OpRem  // Dst = Src1 % Src2 (0 if divisor 0)
+	OpAnd  // Dst = Src1 & Src2
+	OpOr   // Dst = Src1 | Src2
+	OpXor  // Dst = Src1 ^ Src2
+	OpShl  // Dst = Src1 << (Imm & 63)
+	OpShr  // Dst = uint(Src1) >> (Imm & 63)
+	OpMov  // Dst = Src1
+	OpMovI // Dst = Imm
+	// Long-latency arithmetic modeled after FP units. Values are still
+	// int64 bit patterns; only the latency class differs from integer ops.
+	OpFAdd // Dst = Src1 + Src2 (FP-add latency)
+	OpFMul // Dst = Src1 * Src2 (FP-mul latency)
+	OpFDiv // Dst = Src1 / Src2 (FP-div latency, unpipelined)
+	// Memory.
+	OpLoad  // Dst = MEM8[Src1 + Src2*Scale + Imm]
+	OpStore // MEM8[Src1 + Imm] = Src2
+	// Control flow. Conditional branches compare Src1 against Src2
+	// (or zero when Src2 is NoReg) and jump to Target when the condition
+	// holds. Targets are static program indices resolved by the assembler.
+	OpBeq
+	OpBne
+	OpBlt  // signed <
+	OpBge  // signed >=
+	OpJmp  // unconditional direct jump
+	OpCall // Dst = return PC; jump to Target
+	OpRet  // indirect jump to Src1 (predicted by the RAS)
+	// OpHalt terminates the program.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpAddI: "addi", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpMov: "mov", OpMovI: "movi",
+	OpFAdd: "fadd", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpLoad: "load", OpStore: "store",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the op is a conditional direct branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the op accesses data memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// Inst is a static micro-op. Programs are slices of Inst indexed by static
+// PC. Critical carries the CRISP instruction prefix: the single bit of
+// hardware-visible information the software pipeline communicates to the
+// scheduler.
+type Inst struct {
+	Op         Op
+	Dst        Reg   // destination register, NoReg if none
+	Src1, Src2 Reg   // source registers, NoReg if unused
+	Imm        int64 // immediate / displacement
+	Scale      uint8 // index scale for loads (0 treated as no index)
+	Target     int   // static PC of branch target (direct branches)
+	Critical   bool  // CRISP critical prefix
+}
+
+// Srcs appends the valid source registers of the instruction to dst and
+// returns it. Stores read both the base (Src1) and the value (Src2).
+func (in *Inst) Srcs(dst []Reg) []Reg {
+	if in.Src1.Valid() {
+		dst = append(dst, in.Src1)
+	}
+	if in.Src2.Valid() {
+		dst = append(dst, in.Src2)
+	}
+	return dst
+}
+
+// HasDst reports whether the instruction writes a register.
+func (in *Inst) HasDst() bool { return in.Dst.Valid() }
+
+// Imm64 returns the displacement as an unsigned 64-bit value suitable for
+// wrapping address arithmetic.
+func (in *Inst) Imm64() uint64 { return uint64(in.Imm) }
+
+func (in *Inst) String() string {
+	s := in.Op.String()
+	if in.Critical {
+		s = "crit." + s
+	}
+	switch in.Op {
+	case OpLoad:
+		return fmt.Sprintf("%s %s, [%s+%s*%d+%d]", s, in.Dst, in.Src1, in.Src2, in.Scale, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("%s [%s+%d], %s", s, in.Src1, in.Imm, in.Src2)
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return fmt.Sprintf("%s %s, %s, @%d", s, in.Src1, in.Src2, in.Target)
+	case OpJmp:
+		return fmt.Sprintf("%s @%d", s, in.Target)
+	case OpCall:
+		return fmt.Sprintf("%s @%d, link=%s", s, in.Target, in.Dst)
+	case OpRet:
+		return fmt.Sprintf("%s %s", s, in.Src1)
+	case OpMovI:
+		return fmt.Sprintf("%s %s, %d", s, in.Dst, in.Imm)
+	case OpAddI, OpShl, OpShr:
+		return fmt.Sprintf("%s %s, %s, %d", s, in.Dst, in.Src1, in.Imm)
+	case OpHalt, OpNop:
+		return s
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", s, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// EncodedSize returns the synthetic encoded size of the instruction in
+// bytes, used to lay static code out in the instruction cache and to model
+// the one-byte CRISP prefix overhead of Section 5.7. Sizes loosely follow
+// x86-64 conventions: simple ALU ops are short, memory ops and branches
+// with displacements are longer.
+func (in *Inst) EncodedSize() int {
+	var n int
+	switch in.Op {
+	case OpNop:
+		n = 1
+	case OpMov:
+		n = 2
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpMul:
+		n = 3
+	case OpAddI, OpShl, OpShr, OpMovI:
+		n = 4
+	case OpDiv, OpRem, OpFAdd, OpFMul, OpFDiv:
+		n = 4
+	case OpLoad:
+		n = 5
+	case OpStore:
+		n = 5
+	case OpBeq, OpBne, OpBlt, OpBge:
+		n = 4
+	case OpJmp, OpCall:
+		n = 5
+	case OpRet:
+		n = 1
+	case OpHalt:
+		n = 2
+	default:
+		n = 4
+	}
+	if in.Critical {
+		n++ // the CRISP prefix byte
+	}
+	return n
+}
+
+// Latency returns the fixed execution latency of the op in cycles, per the
+// approach of Section 3.5 (fixed latencies from published instruction
+// tables). Loads are excluded: their latency is determined by the memory
+// hierarchy at run time, and by the profiled AMAT during critical-path
+// analysis.
+func (o Op) Latency() int {
+	switch o {
+	case OpMul:
+		return 3
+	case OpDiv, OpRem:
+		return 20
+	case OpFAdd:
+		return 3
+	case OpFMul:
+		return 4
+	case OpFDiv:
+		return 18
+	case OpLoad:
+		return 4 // L1 hit; the hierarchy overrides this
+	default:
+		return 1
+	}
+}
+
+// Pipelined reports whether a functional unit can accept a new op of this
+// kind every cycle. Divides occupy their unit for their full latency.
+func (o Op) Pipelined() bool {
+	switch o {
+	case OpDiv, OpRem, OpFDiv:
+		return false
+	}
+	return true
+}
+
+// PortClass buckets ops by the issue-port class that executes them,
+// matching Table 1's functional units: 4 ALU, 2 load, 1 store.
+type PortClass uint8
+
+// Issue-port classes.
+const (
+	PortALU PortClass = iota
+	PortLoad
+	PortStore
+	NumPortClasses
+)
+
+// Ports returns the per-class port counts of the Table 1 configuration.
+func Ports() [NumPortClasses]int { return [NumPortClasses]int{PortALU: 4, PortLoad: 2, PortStore: 1} }
+
+// Class returns the issue-port class of the op. Branches and all arithmetic
+// execute on ALU ports.
+func (o Op) Class() PortClass {
+	switch o {
+	case OpLoad:
+		return PortLoad
+	case OpStore:
+		return PortStore
+	default:
+		return PortALU
+	}
+}

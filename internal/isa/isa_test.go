@@ -1,0 +1,140 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegValidity(t *testing.T) {
+	if NoReg.Valid() {
+		t.Errorf("NoReg.Valid() = true, want false")
+	}
+	for i := 0; i < NumRegs; i++ {
+		if !R(i).Valid() {
+			t.Errorf("R(%d).Valid() = false, want true", i)
+		}
+	}
+}
+
+func TestRPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("R(NumRegs) did not panic")
+		}
+	}()
+	R(NumRegs)
+}
+
+func TestOpClassification(t *testing.T) {
+	tests := []struct {
+		op                Op
+		branch, cond, mem bool
+	}{
+		{OpAdd, false, false, false},
+		{OpLoad, false, false, true},
+		{OpStore, false, false, true},
+		{OpBeq, true, true, false},
+		{OpBne, true, true, false},
+		{OpBlt, true, true, false},
+		{OpBge, true, true, false},
+		{OpJmp, true, false, false},
+		{OpCall, true, false, false},
+		{OpRet, true, false, false},
+		{OpHalt, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.IsBranch(); got != tt.branch {
+			t.Errorf("%v.IsBranch() = %v, want %v", tt.op, got, tt.branch)
+		}
+		if got := tt.op.IsCondBranch(); got != tt.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tt.op, got, tt.cond)
+		}
+		if got := tt.op.IsMem(); got != tt.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", tt.op, got, tt.mem)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		if s := o.String(); strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", o)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if OpAdd.Latency() != 1 {
+		t.Errorf("add latency = %d, want 1", OpAdd.Latency())
+	}
+	if OpDiv.Latency() <= OpMul.Latency() {
+		t.Errorf("div latency %d should exceed mul latency %d", OpDiv.Latency(), OpMul.Latency())
+	}
+	if OpDiv.Pipelined() || OpFDiv.Pipelined() {
+		t.Errorf("divides must be unpipelined")
+	}
+	if !OpAdd.Pipelined() || !OpLoad.Pipelined() {
+		t.Errorf("add/load must be pipelined")
+	}
+}
+
+func TestPortClasses(t *testing.T) {
+	if OpLoad.Class() != PortLoad {
+		t.Errorf("load port class = %v", OpLoad.Class())
+	}
+	if OpStore.Class() != PortStore {
+		t.Errorf("store port class = %v", OpStore.Class())
+	}
+	for _, o := range []Op{OpAdd, OpMul, OpDiv, OpBeq, OpJmp, OpFMul} {
+		if o.Class() != PortALU {
+			t.Errorf("%v port class = %v, want ALU", o, o.Class())
+		}
+	}
+	p := Ports()
+	if p[PortALU] != 4 || p[PortLoad] != 2 || p[PortStore] != 1 {
+		t.Errorf("Ports() = %v, want 4/2/1 per Table 1", p)
+	}
+}
+
+func TestCriticalPrefixAddsOneByte(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		plain := Inst{Op: o, Dst: R(1), Src1: R(2), Src2: R(3)}
+		crit := plain
+		crit.Critical = true
+		if crit.EncodedSize() != plain.EncodedSize()+1 {
+			t.Errorf("%v: critical size %d, plain %d; want +1", o, crit.EncodedSize(), plain.EncodedSize())
+		}
+		if plain.EncodedSize() <= 0 {
+			t.Errorf("%v: non-positive size", o)
+		}
+	}
+}
+
+func TestSrcs(t *testing.T) {
+	in := Inst{Op: OpAdd, Dst: R(1), Src1: R(2), Src2: R(3)}
+	if got := in.Srcs(nil); len(got) != 2 || got[0] != R(2) || got[1] != R(3) {
+		t.Errorf("Srcs = %v", got)
+	}
+	in = Inst{Op: OpMovI, Dst: R(1), Src1: NoReg, Src2: NoReg}
+	if got := in.Srcs(nil); len(got) != 0 {
+		t.Errorf("MovI Srcs = %v, want empty", got)
+	}
+	in = Inst{Op: OpStore, Src1: R(4), Src2: R(5), Dst: NoReg}
+	if got := in.Srcs(nil); len(got) != 2 {
+		t.Errorf("Store Srcs = %v, want base+value", got)
+	}
+	if in.HasDst() {
+		t.Errorf("store HasDst = true")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	in := Inst{Op: OpLoad, Dst: R(1), Src1: R(2), Src2: R(3), Scale: 8, Imm: 16}
+	if s := in.String(); !strings.Contains(s, "load") || !strings.Contains(s, "r2") {
+		t.Errorf("load string = %q", s)
+	}
+	in.Critical = true
+	if s := in.String(); !strings.HasPrefix(s, "crit.") {
+		t.Errorf("critical string = %q, want crit. prefix", s)
+	}
+}

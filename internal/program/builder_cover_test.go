@@ -1,0 +1,91 @@
+package program
+
+import (
+	"testing"
+
+	"crisp/internal/isa"
+)
+
+// TestAllMnemonicsAssemble drives every builder mnemonic once and checks
+// the emitted opcodes and operands.
+func TestAllMnemonicsAssemble(t *testing.T) {
+	b := NewBuilder("all")
+	r1, r2, r3 := isa.R(1), isa.R(2), isa.R(3)
+	b.Label("start")
+	b.Nop()
+	b.MovI(r1, 42)
+	b.Mov(r2, r1)
+	b.Add(r3, r1, r2)
+	b.Sub(r3, r1, r2)
+	b.Mul(r3, r1, r2)
+	b.Div(r3, r1, r2)
+	b.Rem(r3, r1, r2)
+	b.And(r3, r1, r2)
+	b.Or(r3, r1, r2)
+	b.Xor(r3, r1, r2)
+	b.FAdd(r3, r1, r2)
+	b.FMul(r3, r1, r2)
+	b.FDiv(r3, r1, r2)
+	b.AddI(r3, r1, 5)
+	b.Shl(r3, r1, 2)
+	b.Shr(r3, r1, 2)
+	b.Load(r3, r1, 8)
+	b.LoadIdx(r3, r1, r2, 8, 16)
+	b.Store(r1, 8, r2)
+	b.Beq(r1, r2, "start")
+	b.Bne(r1, r2, "start")
+	b.Blt(r1, r2, "start")
+	b.Bge(r1, r2, "start")
+	b.Jmp("start")
+	b.Call("start", isa.R(31))
+	b.Ret(isa.R(31))
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	wantOps := []isa.Op{
+		isa.OpNop, isa.OpMovI, isa.OpMov, isa.OpAdd, isa.OpSub, isa.OpMul,
+		isa.OpDiv, isa.OpRem, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpFAdd,
+		isa.OpFMul, isa.OpFDiv, isa.OpAddI, isa.OpShl, isa.OpShr,
+		isa.OpLoad, isa.OpLoad, isa.OpStore, isa.OpBeq, isa.OpBne,
+		isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpCall, isa.OpRet, isa.OpHalt,
+	}
+	if p.Len() != len(wantOps) {
+		t.Fatalf("assembled %d insts, want %d", p.Len(), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if p.Insts[i].Op != op {
+			t.Errorf("inst %d: op %v, want %v", i, p.Insts[i].Op, op)
+		}
+	}
+	// All branch targets resolved to "start" (pc 0).
+	for i := range p.Insts {
+		if p.Insts[i].Op.IsBranch() && p.Insts[i].Op != isa.OpRet && p.Insts[i].Target != 0 {
+			t.Errorf("inst %d (%v): target %d, want 0", i, p.Insts[i].Op, p.Insts[i].Target)
+		}
+	}
+	// Every instruction has a printable disassembly.
+	for i := range p.Insts {
+		if s := p.Insts[i].String(); len(s) == 0 {
+			t.Errorf("inst %d: empty disassembly", i)
+		}
+	}
+	// LoadIdx carries the scale; Load does not.
+	if p.Insts[18].Scale != 8 || p.Insts[17].Scale != 0 {
+		t.Errorf("scales wrong: plain %d indexed %d", p.Insts[17].Scale, p.Insts[18].Scale)
+	}
+}
+
+func TestBuilderPC(t *testing.T) {
+	b := NewBuilder("pc")
+	if b.PC() != 0 {
+		t.Errorf("initial PC = %d", b.PC())
+	}
+	b.Nop()
+	b.Nop()
+	if b.PC() != 2 {
+		t.Errorf("PC after 2 insts = %d", b.PC())
+	}
+}

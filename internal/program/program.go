@@ -1,0 +1,308 @@
+// Package program represents static programs of isa micro-ops and provides
+// a builder (a small macro-assembler) that the workload kernels use to
+// author code with labels, loops, and forward branch references.
+package program
+
+import (
+	"fmt"
+
+	"crisp/internal/isa"
+)
+
+// CodeBase is the synthetic byte address at which program code is laid out
+// for instruction-cache modeling. It is separated from the data heap (see
+// the emu package) so code and data never collide.
+const CodeBase uint64 = 0x40_0000
+
+// Program is an immutable sequence of static micro-ops. The static PC of an
+// instruction is its index in Insts. ByteAddr maps static PCs to synthetic
+// code byte addresses (cumulative encoded sizes from CodeBase), which the
+// frontend uses for instruction-cache accesses and the tagger uses for
+// footprint accounting.
+type Program struct {
+	Name   string
+	Insts  []isa.Inst
+	labels map[string]int
+	addrs  []uint64 // byte address per static PC
+}
+
+// Len returns the number of static instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Label returns the static PC of a named label, or -1 if undefined.
+func (p *Program) Label(name string) int {
+	if pc, ok := p.labels[name]; ok {
+		return pc
+	}
+	return -1
+}
+
+// ByteAddr returns the synthetic code byte address of the instruction at
+// static PC pc.
+func (p *Program) ByteAddr(pc int) uint64 { return p.addrs[pc] }
+
+// StaticBytes returns the total encoded code size in bytes, including any
+// critical prefixes currently applied.
+func (p *Program) StaticBytes() int {
+	n := 0
+	for i := range p.Insts {
+		n += p.Insts[i].EncodedSize()
+	}
+	return n
+}
+
+// relayout recomputes the PC-to-byte-address map. Must be called after any
+// mutation that changes encoded sizes (e.g. tagging critical prefixes).
+func (p *Program) relayout() {
+	p.addrs = make([]uint64, len(p.Insts))
+	addr := CodeBase
+	for i := range p.Insts {
+		p.addrs[i] = addr
+		addr += uint64(p.Insts[i].EncodedSize())
+	}
+}
+
+// Clone returns a deep copy of the program. Taggers mutate clones so that
+// baseline and CRISP runs of the same workload never share instruction
+// state.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, labels: p.labels}
+	q.Insts = make([]isa.Inst, len(p.Insts))
+	copy(q.Insts, p.Insts)
+	q.relayout()
+	return q
+}
+
+// ClearCritical removes all critical prefixes.
+func (p *Program) ClearCritical() {
+	for i := range p.Insts {
+		p.Insts[i].Critical = false
+	}
+	p.relayout()
+}
+
+// SetCritical applies the critical prefix to the given static PCs and
+// relays out code addresses (the prefix adds one byte per instruction,
+// Section 5.7).
+func (p *Program) SetCritical(pcs []int) {
+	for _, pc := range pcs {
+		p.Insts[pc].Critical = true
+	}
+	p.relayout()
+}
+
+// CriticalPCs returns the static PCs currently carrying the prefix.
+func (p *Program) CriticalPCs() []int {
+	var out []int
+	for i := range p.Insts {
+		if i < len(p.Insts) && p.Insts[i].Critical {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: branch targets in range, register
+// operands valid, and a final Halt so the emulator terminates.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	for pc := range p.Insts {
+		in := &p.Insts[pc]
+		switch in.Op {
+		case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpCall:
+			if in.Target < 0 || in.Target >= len(p.Insts) {
+				return fmt.Errorf("program %q: pc %d (%v): target %d out of range", p.Name, pc, in, in.Target)
+			}
+		}
+		if in.HasDst() && !in.Dst.Valid() {
+			return fmt.Errorf("program %q: pc %d: invalid dst", p.Name, pc)
+		}
+	}
+	return nil
+}
+
+// Builder assembles a Program. Branch targets may reference labels defined
+// later; Build resolves them.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the static PC the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.insts) }
+
+// Label defines a label at the current PC. Defining the same label twice
+// panics: workload kernels are static code and duplicates are authoring
+// bugs.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insts)
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) { b.insts = append(b.insts, in) }
+
+func (b *Builder) branch(op isa.Op, s1, s2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.insts = append(b.insts, isa.Inst{Op: op, Dst: isa.NoReg, Src1: s1, Src2: s2, Target: -1})
+}
+
+// The mnemonic helpers below mirror the isa opcodes.
+
+func (b *Builder) Nop() {
+	b.Emit(isa.Inst{Op: isa.OpNop, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// MovI loads an immediate: dst = imm.
+func (b *Builder) MovI(dst isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpMovI, Dst: dst, Src1: isa.NoReg, Src2: isa.NoReg, Imm: imm})
+}
+
+// Mov copies a register: dst = src.
+func (b *Builder) Mov(dst, src isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpMov, Dst: dst, Src1: src, Src2: isa.NoReg})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 isa.Reg) { b.alu(isa.OpAdd, dst, s1, s2) }
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 isa.Reg) { b.alu(isa.OpSub, dst, s1, s2) }
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 isa.Reg) { b.alu(isa.OpMul, dst, s1, s2) }
+
+// Div emits dst = s1 / s2.
+func (b *Builder) Div(dst, s1, s2 isa.Reg) { b.alu(isa.OpDiv, dst, s1, s2) }
+
+// Rem emits dst = s1 % s2.
+func (b *Builder) Rem(dst, s1, s2 isa.Reg) { b.alu(isa.OpRem, dst, s1, s2) }
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 isa.Reg) { b.alu(isa.OpAnd, dst, s1, s2) }
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 isa.Reg) { b.alu(isa.OpOr, dst, s1, s2) }
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 isa.Reg) { b.alu(isa.OpXor, dst, s1, s2) }
+
+// FAdd emits dst = s1 + s2 with FP-add latency.
+func (b *Builder) FAdd(dst, s1, s2 isa.Reg) { b.alu(isa.OpFAdd, dst, s1, s2) }
+
+// FMul emits dst = s1 * s2 with FP-mul latency.
+func (b *Builder) FMul(dst, s1, s2 isa.Reg) { b.alu(isa.OpFMul, dst, s1, s2) }
+
+// FDiv emits dst = s1 / s2 with FP-div latency.
+func (b *Builder) FDiv(dst, s1, s2 isa.Reg) { b.alu(isa.OpFDiv, dst, s1, s2) }
+
+func (b *Builder) alu(op isa.Op, dst, s1, s2 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AddI emits dst = src + imm.
+func (b *Builder) AddI(dst, src isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpAddI, Dst: dst, Src1: src, Src2: isa.NoReg, Imm: imm})
+}
+
+// Shl emits dst = src << imm.
+func (b *Builder) Shl(dst, src isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpShl, Dst: dst, Src1: src, Src2: isa.NoReg, Imm: imm})
+}
+
+// Shr emits dst = src >> imm (logical).
+func (b *Builder) Shr(dst, src isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpShr, Dst: dst, Src1: src, Src2: isa.NoReg, Imm: imm})
+}
+
+// Load emits dst = MEM8[base + disp].
+func (b *Builder) Load(dst, base isa.Reg, disp int64) {
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Src2: isa.NoReg, Imm: disp})
+}
+
+// LoadIdx emits dst = MEM8[base + idx*scale + disp].
+func (b *Builder) LoadIdx(dst, base, idx isa.Reg, scale uint8, disp int64) {
+	b.Emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Src1: base, Src2: idx, Scale: scale, Imm: disp})
+}
+
+// Store emits MEM8[base + disp] = val.
+func (b *Builder) Store(base isa.Reg, disp int64, val isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpStore, Dst: isa.NoReg, Src1: base, Src2: val, Imm: disp})
+}
+
+// Beq branches to label when s1 == s2.
+func (b *Builder) Beq(s1, s2 isa.Reg, label string) { b.branch(isa.OpBeq, s1, s2, label) }
+
+// Bne branches to label when s1 != s2.
+func (b *Builder) Bne(s1, s2 isa.Reg, label string) { b.branch(isa.OpBne, s1, s2, label) }
+
+// Blt branches to label when s1 < s2 (signed).
+func (b *Builder) Blt(s1, s2 isa.Reg, label string) { b.branch(isa.OpBlt, s1, s2, label) }
+
+// Bge branches to label when s1 >= s2 (signed).
+func (b *Builder) Bge(s1, s2 isa.Reg, label string) { b.branch(isa.OpBge, s1, s2, label) }
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.insts = append(b.insts, isa.Inst{Op: isa.OpJmp, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg, Target: -1})
+}
+
+// Call jumps to label, writing the return PC into link.
+func (b *Builder) Call(label string, link isa.Reg) {
+	b.fixups = append(b.fixups, fixup{pc: len(b.insts), label: label})
+	b.insts = append(b.insts, isa.Inst{Op: isa.OpCall, Dst: link, Src1: isa.NoReg, Src2: isa.NoReg, Target: -1})
+}
+
+// Ret jumps indirectly to the PC held in link.
+func (b *Builder) Ret(link isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpRet, Dst: isa.NoReg, Src1: link, Src2: isa.NoReg})
+}
+
+// Halt terminates the program.
+func (b *Builder) Halt() {
+	b.Emit(isa.Inst{Op: isa.OpHalt, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg})
+}
+
+// Build resolves label fixups and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("program %q: undefined label %q at pc %d", b.name, f.label, f.pc)
+		}
+		b.insts[f.pc].Target = pc
+	}
+	p := &Program{Name: b.name, Insts: b.insts, labels: b.labels}
+	p.relayout()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; workload kernels use it because
+// an unassemblable kernel is a programming bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

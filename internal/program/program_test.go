@@ -1,0 +1,155 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"crisp/internal/isa"
+)
+
+func buildLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("loop")
+	b.MovI(isa.R(1), 0)
+	b.MovI(isa.R(2), 10)
+	b.Label("head")
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Blt(isa.R(1), isa.R(2), "head")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	p := buildLoop(t)
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	blt := p.Insts[3]
+	if blt.Op != isa.OpBlt || blt.Target != 2 {
+		t.Errorf("blt = %+v, want target 2", blt)
+	}
+	if p.Label("head") != 2 {
+		t.Errorf("Label(head) = %d, want 2", p.Label("head"))
+	}
+	if p.Label("missing") != -1 {
+		t.Errorf("Label(missing) = %d, want -1", p.Label("missing"))
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Build err = %v, want undefined-label error", err)
+	}
+}
+
+func TestDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate label did not panic")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+}
+
+func TestForwardReference(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("forward jmp target = %d, want 2", p.Insts[0].Target)
+	}
+}
+
+func TestByteAddrsMonotonic(t *testing.T) {
+	p := buildLoop(t)
+	prev := p.ByteAddr(0)
+	if prev != CodeBase {
+		t.Errorf("first addr = %#x, want CodeBase %#x", prev, CodeBase)
+	}
+	for pc := 1; pc < p.Len(); pc++ {
+		a := p.ByteAddr(pc)
+		if a <= prev {
+			t.Errorf("addr[%d] = %#x not > addr[%d] = %#x", pc, a, pc-1, prev)
+		}
+		if int(a-prev) != p.Insts[pc-1].EncodedSize() {
+			t.Errorf("gap %d != size of inst %d (%d)", a-prev, pc-1, p.Insts[pc-1].EncodedSize())
+		}
+		prev = a
+	}
+}
+
+func TestSetCriticalGrowsFootprintAndRelayouts(t *testing.T) {
+	p := buildLoop(t)
+	before := p.StaticBytes()
+	lastBefore := p.ByteAddr(p.Len() - 1)
+	p.SetCritical([]int{2, 3})
+	if got := p.StaticBytes(); got != before+2 {
+		t.Errorf("StaticBytes after tagging = %d, want %d", got, before+2)
+	}
+	if got := p.ByteAddr(p.Len() - 1); got != lastBefore+2 {
+		t.Errorf("last addr after tagging = %#x, want %#x", got, lastBefore+2)
+	}
+	if got := p.CriticalPCs(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("CriticalPCs = %v", got)
+	}
+	p.ClearCritical()
+	if got := p.CriticalPCs(); got != nil {
+		t.Errorf("CriticalPCs after clear = %v", got)
+	}
+	if got := p.StaticBytes(); got != before {
+		t.Errorf("StaticBytes after clear = %d, want %d", got, before)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildLoop(t)
+	q := p.Clone()
+	q.SetCritical([]int{0})
+	if p.Insts[0].Critical {
+		t.Errorf("tagging clone mutated original")
+	}
+	if q.Label("head") != p.Label("head") {
+		t.Errorf("clone lost labels")
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	p := buildLoop(t)
+	p.Insts[3].Target = 99
+	if err := p.Validate(); err == nil {
+		t.Errorf("Validate accepted out-of-range target")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder("callret")
+	b.Call("fn", isa.R(31))
+	b.Halt()
+	b.Label("fn")
+	b.Ret(isa.R(31))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("call target = %d, want 2", p.Insts[0].Target)
+	}
+	if p.Insts[0].Dst != isa.R(31) {
+		t.Errorf("call link = %v, want r31", p.Insts[0].Dst)
+	}
+}

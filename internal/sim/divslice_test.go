@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+// divImage builds a kernel where an unpipelined divide chain at the loop
+// tail gates the next iteration's work while independent ALU filler
+// saturates the issue ports — the Section 6.1 scenario for prioritizing
+// high-latency arithmetic.
+func divImage() *Image {
+	mem := emu.NewMemory()
+	for i := 0; i < 96; i++ {
+		mem.WriteWord(uint64(0x400000+i*8), int64(i+3))
+	}
+	b := program.NewBuilder("div")
+	vb, e, lim := isa.R(3), isa.R(4), isa.R(5)
+	t1, t2, t3 := isa.R(8), isa.R(9), isa.R(10)
+	acc, d := isa.R(20), isa.R(21)
+	b.MovI(vb, 0x400000)
+	b.MovI(lim, 32)
+	b.MovI(isa.R(6), 7)
+	b.Label("outer")
+	b.MovI(e, 0)
+	b.Label("fill")
+	b.LoadIdx(t1, vb, e, 8, 0)
+	b.Mul(t2, t1, acc)
+	b.Mul(t3, t1, acc)
+	b.Add(t2, t2, t3)
+	b.Xor(t3, t2, t1)
+	b.Add(t2, t3, t1)
+	b.AddI(e, e, 1)
+	b.Blt(e, lim, "fill")
+	// Loop-carried divide chain: the next iteration's filler multiplies by
+	// acc, which the divides produce.
+	b.AddI(d, d, 13)
+	b.Div(acc, d, isa.R(6))
+	b.Rem(acc, acc, d)
+	b.AddI(acc, acc, 3)
+	b.Bne(d, isa.R(0), "outer")
+	b.Halt()
+	return &Image{Prog: b.MustBuild(), Mem: mem, Regs: map[isa.Reg]int64{acc: 5, d: 11}}
+}
+
+func TestDivSliceExtension(t *testing.T) {
+	cfg := cfgN(150_000)
+
+	analyze := func(enable bool) *crisp.Analysis {
+		opts := crisp.DefaultOptions()
+		opts.HighLatencyALU = enable
+		pipe := AnalyzeTrain(divImage(), divImage(), cfg, opts)
+		return pipe.Analysis
+	}
+
+	off := analyze(false)
+	on := analyze(true)
+	if len(off.SlowALUs) != 0 {
+		t.Fatalf("extension off but SlowALUs = %v", off.SlowALUs)
+	}
+	if len(on.SlowALUs) == 0 {
+		t.Fatalf("extension on found no divide roots")
+	}
+	if len(on.CriticalPCs) <= len(off.CriticalPCs) {
+		t.Fatalf("divide slices added no tags: %d vs %d", len(on.CriticalPCs), len(off.CriticalPCs))
+	}
+
+	base := Run(divImage(), cfg.WithSched(core.SchedOldestFirst))
+	img := divImage()
+	img.Prog = on.Apply(img.Prog)
+	cr := Run(img, cfg.WithSched(core.SchedCRISP))
+	gain := (cr.IPC()/base.IPC() - 1) * 100
+	t.Logf("div-slice extension: OOO %.3f CRISP %.3f (%+.2f%%)", base.IPC(), cr.IPC(), gain)
+	if gain < 0.2 {
+		t.Errorf("divide-slice prioritization gained %+.2f%%, want > 0.2%%", gain)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sim wires the simulated system together (Table 1): the OOO core,
+// the cache hierarchy with data prefetchers, DRAM, and the optional
+// criticality mechanisms (static CRISP tags or runtime IBDA marking). It
+// also drives the paper's two-phase flow: a profiling run plus trace
+// capture on the train input, CRISP analysis, then evaluation runs on the
+// ref input (Section 5.1).
+package sim
+
+import (
+	"fmt"
+
+	"crisp/internal/cache"
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/emu"
+	"crisp/internal/ibda"
+	"crisp/internal/isa"
+	"crisp/internal/prefetch"
+	"crisp/internal/program"
+	"crisp/internal/trace"
+)
+
+// Image is a ready-to-run workload instance: static code plus initialized
+// memory and registers. Train and ref variants of a workload share the
+// same program and differ only in data (Section 5.1's separate profiling
+// and evaluation inputs).
+type Image struct {
+	Prog *program.Program
+	Mem  *emu.Memory
+	Regs map[isa.Reg]int64
+}
+
+// Clone returns an Image sharing the program but with no memory aliasing
+// hazards for reuse: the memory object is NOT copied, so each Image must
+// be built fresh per run. Clone only swaps the program (for tagging).
+func (img *Image) withProg(p *program.Program) *Image {
+	return &Image{Prog: p, Mem: img.Mem, Regs: img.Regs}
+}
+
+// PrefetcherKind selects the data-prefetch configuration.
+type PrefetcherKind int
+
+// Data prefetcher configurations.
+const (
+	PFBOPStream PrefetcherKind = iota // Table 1 default: BOP + stream
+	PFStride
+	PFGHB
+	PFNone
+)
+
+func (p PrefetcherKind) String() string {
+	switch p {
+	case PFBOPStream:
+		return "bop+stream"
+	case PFStride:
+		return "stride"
+	case PFGHB:
+		return "ghb"
+	default:
+		return "none"
+	}
+}
+
+// Config is the full simulated-system configuration.
+type Config struct {
+	Core       core.Config
+	Hier       cache.HierConfig
+	Prefetcher PrefetcherKind
+	// IBDA, when non-nil, attaches the runtime IBDA marker (and the run
+	// should use the CRISP scheduler so marks take effect).
+	IBDA *ibda.Config
+}
+
+// DefaultConfig returns the Table 1 system.
+func DefaultConfig() Config {
+	return Config{
+		Core:       core.DefaultConfig(),
+		Hier:       cache.DefaultHierConfig(),
+		Prefetcher: PFBOPStream,
+	}
+}
+
+// WithSched returns a copy with the scheduler policy replaced.
+func (c Config) WithSched(s core.SchedulerKind) Config {
+	c.Core.Scheduler = s
+	return c
+}
+
+// WithWindow returns a copy with RS/ROB sizes replaced (Figure 9 sweeps).
+func (c Config) WithWindow(rs, rob int) Config {
+	c.Core.RSSize = rs
+	c.Core.ROBSize = rob
+	return c
+}
+
+// ibdaMarker adapts ibda.IBDA to the core.Marker interface.
+type ibdaMarker struct{ ib *ibda.IBDA }
+
+func (m ibdaMarker) MarkDispatch(pc int, isLoad bool, producers []int) bool {
+	return m.ib.MarkDispatch(pc, isLoad, producers)
+}
+
+// Run executes one timing simulation of the image under cfg.
+func Run(img *Image, cfg Config) *core.Result {
+	hier := cache.NewHierarchy(cfg.Hier)
+	switch cfg.Prefetcher {
+	case PFBOPStream:
+		hier.L1D.SetPrefetcher(&prefetch.Composite{Parts: []interface {
+			OnAccess(pc, addr uint64, hit bool) []uint64
+		}{prefetch.NewBOP(), prefetch.NewStream(64)}})
+	case PFStride:
+		hier.L1D.SetPrefetcher(prefetch.NewStride(256))
+	case PFGHB:
+		hier.L1D.SetPrefetcher(prefetch.NewGHB(512))
+	}
+
+	var marker core.Marker
+	if cfg.IBDA != nil {
+		ib := ibda.New(*cfg.IBDA)
+		marker = ibdaMarker{ib}
+		prog := img.Prog
+		hier.LLC.SetMissObserver(func(pc, _ uint64) {
+			spc := int(pc)
+			if spc >= 0 && spc < prog.Len() && prog.Insts[spc].Op == isa.OpLoad {
+				ib.OnLLCMiss(spc)
+			}
+		})
+	}
+
+	em := emu.New(img.Prog, img.Mem)
+	for r, v := range img.Regs {
+		em.SetReg(r, v)
+	}
+	c := core.New(cfg.Core, img.Prog, em, hier, marker)
+	return c.Run()
+}
+
+// CaptureTrace functionally executes the image and records up to limit
+// dynamic instructions with producer links (the tracing step of Figure 5).
+func CaptureTrace(img *Image, limit uint64) *trace.Trace {
+	em := emu.New(img.Prog, img.Mem)
+	for r, v := range img.Regs {
+		em.SetReg(r, v)
+	}
+	return trace.Capture(em, limit)
+}
+
+// Pipeline bundles the outputs of the CRISP software flow for a workload.
+type Pipeline struct {
+	Analysis  *crisp.Analysis
+	Footprint crisp.Footprint
+	Profile   *core.Result
+}
+
+// AnalyzeTrain runs the profiling pass and trace capture on a train image
+// pair and returns the CRISP analysis. trainProfile and trainTrace must be
+// two independently built images of the same workload variant (each run
+// consumes its image's memory state).
+func AnalyzeTrain(trainProfile, trainTrace *Image, cfg Config, opts crisp.Options) *Pipeline {
+	prof := Run(trainProfile, cfg.WithSched(core.SchedOldestFirst))
+	limit := cfg.Core.MaxInsts
+	if limit == 0 {
+		limit = 1 << 21
+	}
+	tr := CaptureTrace(trainTrace, limit)
+	analysis := crisp.Analyze(prof, tr, trainTrace.Prog, opts)
+	fp := crisp.MeasureFootprint(trainTrace.Prog, tr, analysis.CriticalPCs)
+	return &Pipeline{Analysis: analysis, Footprint: fp, Profile: prof}
+}
+
+// Tagged returns a copy of img running the analysis-tagged program.
+func (p *Pipeline) Tagged(img *Image) *Image {
+	return img.withProg(p.Analysis.Apply(img.Prog))
+}
+
+// Describe formats a one-line summary of a result for logs.
+func Describe(name string, r *core.Result) string {
+	return fmt.Sprintf("%-14s IPC %.3f cycles %d insts %d LLC-MPKI %.2f brMPKI %.2f",
+		name, r.IPC(), r.Cycles, r.Insts, r.LLCMPKI(), r.BranchMPKI())
+}

@@ -1,0 +1,132 @@
+// Package trace captures dynamic instruction streams from the functional
+// emulator and precomputes producer links (through registers and through
+// memory) that the CRISP slicer walks backwards. This stands in for the
+// DynamoRIO-Memtrace / Intel-PT tracing step of the paper's software
+// pipeline (Section 3.3): it carries exactly the information a memory
+// trace provides, including store-to-load dependencies that register-only
+// hardware IBDA cannot observe.
+package trace
+
+import (
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+)
+
+// NoDep marks an absent producer link.
+const NoDep = ^uint32(0)
+
+// Record is one traced dynamic instruction with resolved producer links.
+// Producer links are indices into the owning Trace's Records slice (not
+// Seq numbers) so slices of a bounded trace index directly.
+//
+// RegDep1/RegDep2 are the producers of the instruction's first and second
+// source registers. MemDep is, for loads, the most recent older store to
+// an overlapping 8-byte word — the "dependency through memory" of
+// Section 3.3 footnote 2.
+type Record struct {
+	PC      int
+	Addr    uint64
+	Taken   bool
+	RegDep1 uint32
+	RegDep2 uint32
+	MemDep  uint32
+	Inst    *isa.Inst
+}
+
+// Trace is a captured window of dynamic execution.
+type Trace struct {
+	Records []Record
+}
+
+// Capture runs the emulator for at most limit instructions (to Halt if
+// limit <= 0), recording every instruction and resolving producer links on
+// the fly.
+func Capture(e *emu.Emulator, limit uint64) *Trace {
+	tr := &Trace{}
+	if limit > 0 {
+		tr.Records = make([]Record, 0, limit)
+	}
+	// lastRegWriter[r] is the trace index of the most recent writer of r,
+	// or NoDep if r was last written before the trace window.
+	var lastRegWriter [isa.NumRegs]uint32
+	for i := range lastRegWriter {
+		lastRegWriter[i] = NoDep
+	}
+	// lastStore maps 8-byte-aligned word address to the trace index of the
+	// most recent store covering it.
+	lastStore := make(map[uint64]uint32)
+
+	var n uint64
+	for limit <= 0 || n < limit {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		n++
+		idx := uint32(len(tr.Records))
+		rec := Record{
+			PC: d.PC, Addr: d.Addr, Taken: d.Taken, Inst: d.Inst,
+			RegDep1: NoDep, RegDep2: NoDep, MemDep: NoDep,
+		}
+		in := d.Inst
+		if in.Src1.Valid() {
+			rec.RegDep1 = lastRegWriter[in.Src1]
+		}
+		if in.Src2.Valid() {
+			rec.RegDep2 = lastRegWriter[in.Src2]
+		}
+		switch in.Op {
+		case isa.OpLoad:
+			if dep, ok := lastStore[d.Addr&^7]; ok {
+				rec.MemDep = dep
+			}
+		case isa.OpStore:
+			lastStore[d.Addr&^7] = idx
+		}
+		if in.HasDst() {
+			lastRegWriter[in.Dst] = idx
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	return tr
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Deps appends the producer indices of record i to dst and returns it.
+func (t *Trace) Deps(i int, dst []uint32) []uint32 {
+	r := &t.Records[i]
+	if r.RegDep1 != NoDep {
+		dst = append(dst, r.RegDep1)
+	}
+	if r.RegDep2 != NoDep && r.RegDep2 != r.RegDep1 {
+		dst = append(dst, r.RegDep2)
+	}
+	if r.MemDep != NoDep {
+		dst = append(dst, r.MemDep)
+	}
+	return dst
+}
+
+// InstancesOf returns the trace indices at which static PC pc executed, in
+// program order.
+func (t *Trace) InstancesOf(pc int) []uint32 {
+	var out []uint32
+	for i := range t.Records {
+		if t.Records[i].PC == pc {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// ExecCounts returns per-static-PC dynamic execution counts, indexed by PC
+// up to progLen.
+func (t *Trace) ExecCounts(progLen int) []uint64 {
+	counts := make([]uint64, progLen)
+	for i := range t.Records {
+		counts[t.Records[i].PC]++
+	}
+	return counts
+}

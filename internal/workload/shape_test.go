@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/ibda"
+	"crisp/internal/sim"
+)
+
+// TestSuiteShape asserts the qualitative result structure of the paper's
+// evaluation on a reduced instruction budget: CRISP helps the
+// irregular-memory workloads, leaves compute-bound and high-MLP streaming
+// workloads alone, and its branch slices deliver gains hardware IBDA
+// cannot express. These are the EXPERIMENTS.md claims in executable form.
+func TestSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite-level run")
+	}
+	const insts = 250_000
+	type out struct {
+		base, crisp, ibda *core.Result
+	}
+	results := make(map[string]*out)
+	names := []string{"mcf", "xalancbmk", "namd", "nab", "deepsjeng", "bwaves", "imgdnn", "gcc"}
+	done := make(chan struct{}, len(names))
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	for _, name := range names {
+		name := name
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w := ByName(name)
+			cfg := sim.DefaultConfig()
+			cfg.Core.MaxInsts = insts
+			pipe := sim.AnalyzeTrain(w.Build(Train), w.Build(Train), cfg, crisp.DefaultOptions())
+			o := &out{}
+			o.base = sim.Run(w.Build(Ref), cfg.WithSched(core.SchedOldestFirst))
+			o.crisp = sim.Run(pipe.Tagged(w.Build(Ref)), cfg.WithSched(core.SchedCRISP))
+			ic := cfg.WithSched(core.SchedCRISP)
+			ic.IBDA = &ibda.Config{ISTEntries: 1024, ISTWays: 4, DLTEntries: 32}
+			o.ibda = sim.Run(w.Build(Ref), ic)
+			<-mu
+			results[name] = o
+			mu <- struct{}{}
+		}()
+	}
+	for range names {
+		<-done
+	}
+
+	gain := func(name string) float64 {
+		o := results[name]
+		return (o.crisp.IPC()/o.base.IPC() - 1) * 100
+	}
+	ibdaGain := func(name string) float64 {
+		o := results[name]
+		return (o.ibda.IPC()/o.base.IPC() - 1) * 100
+	}
+
+	// Irregular-memory workloads gain measurably.
+	for _, name := range []string{"mcf", "xalancbmk", "namd", "gcc"} {
+		if g := gain(name); g < 1.5 {
+			t.Errorf("%s: CRISP gain %.2f%%, want >= 1.5%%", name, g)
+		}
+	}
+	// Branch-bound workloads gain through branch slices.
+	for _, name := range []string{"nab", "deepsjeng"} {
+		if g := gain(name); g < 1.0 {
+			t.Errorf("%s: branch-slice gain %.2f%%, want >= 1%%", name, g)
+		}
+	}
+	// High-MLP streaming and compute-bound workloads are (correctly) left
+	// nearly untouched.
+	for _, name := range []string{"bwaves", "imgdnn"} {
+		if g := gain(name); g < -1 || g > 2 {
+			t.Errorf("%s: gain %.2f%%, want ~0", name, g)
+		}
+	}
+	// The largest chase gain exceeds the flat workloads clearly.
+	if gain("mcf") < gain("bwaves")+3 {
+		t.Errorf("mcf (%.2f%%) does not clearly exceed bwaves (%.2f%%)",
+			gain("mcf"), gain("bwaves"))
+	}
+	// Branch slices are a CRISP-only capability: on the branch-bound apps
+	// CRISP at least matches hardware IBDA.
+	for _, name := range []string{"nab", "deepsjeng"} {
+		if gain(name) < ibdaGain(name)-1 {
+			t.Errorf("%s: CRISP %.2f%% clearly below IBDA %.2f%%", name, gain(name), ibdaGain(name))
+		}
+	}
+}

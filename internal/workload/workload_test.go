@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/emu"
+	"crisp/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"pointerchase", "mcf", "omnetpp", "xalancbmk", "moses", "memcached",
+		"gcc", "bwaves", "cactus", "deepsjeng", "fotonik", "lbm", "nab",
+		"namd", "perlbench", "xhpcg", "imgdnn",
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d workloads, want %d: %v", len(All()), len(want), Names())
+	}
+	for _, name := range want {
+		if ByName(name) == nil {
+			t.Errorf("workload %q missing", name)
+		}
+	}
+	if ByName("nonexistent") != nil {
+		t.Errorf("ByName invented a workload")
+	}
+}
+
+func TestImagesBuildAndRunFunctionally(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, v := range []Variant{Train, Ref} {
+				img := w.Build(v)
+				if err := img.Prog.Validate(); err != nil {
+					t.Fatalf("%s/%s: %v", w.Name, v, err)
+				}
+				em := emu.New(img.Prog, img.Mem)
+				for r, val := range img.Regs {
+					em.SetReg(r, val)
+				}
+				if n := em.Run(20000); n < 20000 && !em.Done() {
+					t.Fatalf("%s/%s: functional run stopped at %d insts", w.Name, v, n)
+				}
+			}
+		})
+	}
+}
+
+func TestTrainAndRefShareProgram(t *testing.T) {
+	for _, w := range All() {
+		tr := w.Build(Train)
+		rf := w.Build(Ref)
+		if tr.Prog.Len() != rf.Prog.Len() {
+			t.Errorf("%s: train prog %d insts, ref %d — tags would not transfer",
+				w.Name, tr.Prog.Len(), rf.Prog.Len())
+			continue
+		}
+		for pc := range tr.Prog.Insts {
+			if tr.Prog.Insts[pc] != rf.Prog.Insts[pc] {
+				t.Errorf("%s: pc %d differs between variants", w.Name, pc)
+				break
+			}
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	w := ByName("mcf")
+	a, b := w.Build(Ref), w.Build(Ref)
+	for r, v := range a.Regs {
+		if b.Regs[r] != v {
+			t.Errorf("nondeterministic reg %v: %d vs %d", r, v, b.Regs[r])
+		}
+	}
+}
+
+// runPair runs OOO baseline and the full CRISP pipeline on a workload with
+// a reduced instruction budget.
+func runPair(t testing.TB, w *Workload, insts uint64, opts crisp.Options) (base, crispRes *core.Result, pipe *sim.Pipeline) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = insts
+	pipe = sim.AnalyzeTrain(w.Build(Train), w.Build(Train), cfg, opts)
+	ref := w.Build(Ref)
+	base = sim.Run(ref, cfg.WithSched(core.SchedOldestFirst))
+	tagged := pipe.Tagged(w.Build(Ref))
+	crispRes = sim.Run(tagged, cfg.WithSched(core.SchedCRISP))
+	return base, crispRes, pipe
+}
+
+// TestCalibrateSuite logs per-workload CRISP gains (run with -v). The
+// experiments harness uses larger budgets; this is the fast feedback loop.
+func TestCalibrateSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base, cr, pipe := runPair(t, w, 400_000, crisp.DefaultOptions())
+			t.Logf("%-12s OOO %.3f CRISP %.3f gain %+5.1f%%  critPCs=%d dynFrac=%.2f loads=%d branches=%d prioIss=%d jump=%.1f brMPKI=%.1f llcMPKI=%.1f",
+				w.Name, base.IPC(), cr.IPC(), (cr.IPC()/base.IPC()-1)*100,
+				len(pipe.Analysis.CriticalPCs), pipe.Analysis.DynCriticalFraction,
+				len(pipe.Analysis.DelinquentLoads), len(pipe.Analysis.HardBranches),
+				cr.IssuedCritical, float64(cr.QueueJumpSum)/float64(cr.IssuedCritical+1),
+				base.BranchMPKI(), base.LLCMPKI())
+		})
+	}
+}
