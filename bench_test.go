@@ -285,6 +285,28 @@ func BenchmarkCoreThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim_insts/s")
 }
 
+// BenchmarkHostThroughput measures host-side simulator efficiency on the
+// pointer-chase microbenchmark (the ISSUE's acceptance workload): simulated
+// MIPS, host nanoseconds per simulated instruction, and heap allocations
+// per simulated instruction, all from the Result's own host counters.
+func BenchmarkHostThroughput(b *testing.B) {
+	w := workload.ByName("pointerchase")
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = benchInsts
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insts, hostNS, hostAllocs uint64
+	for i := 0; i < b.N; i++ {
+		res := sim.Run(w.Build(workload.Ref), cfg)
+		insts += res.Insts
+		hostNS += uint64(res.HostNS)
+		hostAllocs += res.HostAllocs
+	}
+	b.ReportMetric(float64(insts)*1e3/float64(hostNS), "sim_MIPS")
+	b.ReportMetric(float64(hostNS)/float64(insts), "host_ns/inst")
+	b.ReportMetric(float64(hostAllocs)/float64(insts), "allocs/inst")
+}
+
 // BenchmarkExtension_DivSlices exercises the Section 6.1 extension:
 // high-latency arithmetic (divides) as slice roots, measured on nab
 // (FP/divide-heavy) with the extension on and off.

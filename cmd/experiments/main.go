@@ -8,32 +8,66 @@
 //	experiments -fig 7               # one figure
 //	experiments -fig 9 -insts 1e6    # bigger instruction budget
 //	experiments -fig 7 -only mcf,lbm # subset of the suite
+//	experiments -fig 7 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"crisp/internal/harness"
+	"crisp/internal/sim"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf")
-		table = flag.String("table", "", "table to run: 1")
-		all   = flag.Bool("all", false, "run every experiment")
-		insts = flag.Uint64("insts", 400_000, "instructions simulated per run")
-		only  = flag.String("only", "", "comma-separated workload subset")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf")
+		table      = flag.String("table", "", "table to run: 1")
+		all        = flag.Bool("all", false, "run every experiment")
+		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
+		only       = flag.String("only", "", "comma-separated workload subset")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
 	if !*all && *fig == "" && *table == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 
 	lab := harness.NewLab(*insts)
@@ -55,6 +89,9 @@ func main() {
 		t := f()
 		if !*csv {
 			t.Notes = append(t.Notes, fmt.Sprintf("elapsed %.1fs at %d insts/run", time.Since(start).Seconds(), *insts))
+			if n := harness.HostThroughputNote(); n != "" {
+				t.Notes = append(t.Notes, n)
+			}
 		}
 		emit(t)
 	}
@@ -94,5 +131,10 @@ func main() {
 	}
 	if wantFig("pf") {
 		run(lab.PrefetcherSensitivity)
+	}
+
+	if simInsts, simNS := sim.HostTotals(); simNS > 0 && !*csv {
+		fmt.Printf("# host throughput: %.2f simulated MIPS (%d insts in %.1fs of core.Run)\n",
+			float64(simInsts)*1e3/float64(simNS), simInsts, float64(simNS)/1e9)
 	}
 }

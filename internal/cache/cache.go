@@ -29,7 +29,8 @@ type pcBackend interface {
 type Prefetcher interface {
 	// OnAccess is called for each demand access with the access PC, the
 	// byte address, and whether it hit. It returns byte addresses whose
-	// lines should be prefetched.
+	// lines should be prefetched. The returned slice may alias internal
+	// scratch storage and is valid only until the next OnAccess call.
 	OnAccess(pc, addr uint64, hit bool) []uint64
 }
 

@@ -8,53 +8,6 @@ package core
 
 import "math/bits"
 
-// Bitset is a fixed-capacity bit vector used for the scheduler's BID
-// (ready) and PRIO (ready-and-critical) vectors.
-type Bitset struct {
-	words []uint64
-	n     int
-}
-
-// NewBitset returns a bitset with capacity n bits.
-func NewBitset(n int) *Bitset {
-	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
-}
-
-// Set sets bit i.
-func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
-
-// Clear clears bit i.
-func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
-
-// Get reports bit i.
-func (b *Bitset) Get(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
-
-// Reset clears all bits.
-func (b *Bitset) Reset() {
-	for i := range b.words {
-		b.words[i] = 0
-	}
-}
-
-// Any reports whether any bit is set.
-func (b *Bitset) Any() bool {
-	for _, w := range b.words {
-		if w != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// Count returns the number of set bits.
-func (b *Bitset) Count() int {
-	n := 0
-	for _, w := range b.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
 // AgeMatrix is the RAND-scheduler age matrix of Section 4.2: instructions
 // are inserted into arbitrary IQ slots, and each slot keeps an N-bit age
 // vector whose bit j is set iff slot j holds an older instruction. The
@@ -64,17 +17,15 @@ func (b *Bitset) Count() int {
 type AgeMatrix struct {
 	n        int
 	words    int
-	rows     [][]uint64 // rows[slot] = age vector of the instruction in slot
+	rows     []uint64 // flat n x words matrix; row slot starts at slot*words
 	occupied *Bitset
 }
 
-// NewAgeMatrix returns an age matrix for an IQ with n slots.
+// NewAgeMatrix returns an age matrix for an IQ with n slots. Rows share
+// one flat backing array so inserts and row reads stay cache-friendly.
 func NewAgeMatrix(n int) *AgeMatrix {
 	m := &AgeMatrix{n: n, words: (n + 63) / 64, occupied: NewBitset(n)}
-	m.rows = make([][]uint64, n)
-	for i := range m.rows {
-		m.rows[i] = make([]uint64, m.words)
-	}
+	m.rows = make([]uint64, n*m.words)
 	return m
 }
 
@@ -83,6 +34,13 @@ func (m *AgeMatrix) Size() int { return m.n }
 
 // Occupied reports whether slot i currently holds an instruction.
 func (m *AgeMatrix) Occupied(i int) bool { return m.occupied.Get(i) }
+
+// Row exposes the raw age-vector words of a slot. Bit j is set iff slot j
+// held an older instruction when this slot was filled; bits of slots freed
+// since then are stale and must be masked by an occupied candidate vector.
+func (m *AgeMatrix) Row(slot int) []uint64 {
+	return m.rows[slot*m.words : (slot+1)*m.words]
+}
 
 // Insert enqueues a new (youngest) instruction into the given free slot:
 // its age vector is initialized to all ones except its own bit, and its
@@ -93,7 +51,7 @@ func (m *AgeMatrix) Insert(slot int) {
 	if m.occupied.Get(slot) {
 		panic("core: AgeMatrix.Insert into occupied slot")
 	}
-	row := m.rows[slot]
+	row := m.Row(slot)
 	for i := range row {
 		row[i] = ^uint64(0)
 	}
@@ -103,12 +61,12 @@ func (m *AgeMatrix) Insert(slot int) {
 	}
 	row[slot>>6] &^= 1 << uint(slot&63)
 	// Clear this slot's bit in all other rows: nothing already enqueued is
-	// younger than the new instruction.
+	// younger than the new instruction. The flat layout makes this a
+	// single strided sweep; it covers the new row too, where the slot's
+	// own bit is already clear.
 	w, bit := slot>>6, uint64(1)<<uint(slot&63)
-	for i := 0; i < m.n; i++ {
-		if i != slot {
-			m.rows[i][w] &^= bit
-		}
+	for i := w; i < len(m.rows); i += m.words {
+		m.rows[i] &^= bit
 	}
 	m.occupied.Set(slot)
 }
@@ -119,20 +77,31 @@ func (m *AgeMatrix) Remove(slot int) { m.occupied.Clear(slot) }
 
 // FreeSlot returns a free slot selected pseudo-randomly (the RAND
 // insertion policy), or -1 when the IQ is full. The caller supplies the
-// random word; determinism is preserved by seeding upstream.
+// random word; determinism is preserved by seeding upstream. Selection
+// ranks the k-th clear bit of the occupancy vector word-parallel.
 func (m *AgeMatrix) FreeSlot(rnd uint64) int {
 	free := m.n - m.occupied.Count()
 	if free == 0 {
 		return -1
 	}
 	k := int(rnd % uint64(free))
-	for i := 0; i < m.n; i++ {
-		if !m.occupied.Get(i) {
-			if k == 0 {
-				return i
+	occ := m.occupied.Words()
+	for wi, w := range occ {
+		inv := ^w
+		if wi == len(occ)-1 {
+			if extra := m.n & 63; extra != 0 {
+				inv &= (1 << uint(extra)) - 1
 			}
-			k--
 		}
+		c := bits.OnesCount64(inv)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; k > 0; k-- {
+			inv &= inv - 1
+		}
+		return wi<<6 + bits.TrailingZeros64(inv)
 	}
 	return -1
 }
@@ -142,15 +111,21 @@ func (m *AgeMatrix) FreeSlot(rnd uint64) int {
 // A candidate is oldest iff its age vector has no bit in common with the
 // candidate set.
 func (m *AgeMatrix) OldestAmong(cand *Bitset) int {
-	for wi, w := range cand.words {
+	return m.OldestAmongWords(cand.Words())
+}
+
+// OldestAmongWords is OldestAmong over a raw candidate word slice, the
+// form the scheduler's persistent BID/PRIO vectors hand over directly.
+func (m *AgeMatrix) OldestAmongWords(cand []uint64) int {
+	for wi, w := range cand {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			slot := wi*64 + b
+			slot := wi<<6 + b
 			w &^= 1 << uint(b)
-			row := m.rows[slot]
+			row := m.rows[slot*m.words:]
 			zero := true
-			for j := range row {
-				if row[j]&cand.words[j] != 0 {
+			for j := range cand {
+				if row[j]&cand[j] != 0 {
 					zero = false
 					break
 				}

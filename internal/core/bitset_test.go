@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naive reference implementations, one bit at a time.
+
+func naiveNextSet(b *Bitset, from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < b.Len(); i++ {
+		if b.Get(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func naiveSelectNth(b *Bitset, k int) int {
+	if k < 0 {
+		return -1
+	}
+	for i := 0; i < b.Len(); i++ {
+		if b.Get(i) {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+func naiveAndCount(b *Bitset, mask []uint64) int {
+	c := 0
+	for i := 0; i < b.Len(); i++ {
+		w := i >> 6
+		if w >= len(mask) {
+			break
+		}
+		if b.Get(i) && mask[w]&(1<<uint(i&63)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func TestBitsetNextSet(t *testing.T) {
+	b := NewBitset(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{-5, 0},  // negative from clamps to 0
+		{0, 0},   // hit at from itself
+		{1, 1},   // within first word
+		{2, 63},  // skip to end of word 0
+		{64, 64}, // exactly on a word boundary
+		{66, 127},
+		{129, 199}, // cross an entirely empty word (word 2)
+		{199, 199}, // last valid bit
+		{200, -1},  // from past capacity
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	empty := NewBitset(130)
+	if got := empty.NextSet(0); got != -1 {
+		t.Errorf("empty NextSet(0) = %d, want -1", got)
+	}
+}
+
+func TestBitsetSelectNth(t *testing.T) {
+	b := NewBitset(200)
+	set := []int{3, 63, 64, 100, 128, 199} // spans three words
+	for _, i := range set {
+		b.Set(i)
+	}
+	for k, want := range set {
+		if got := b.SelectNth(k); got != want {
+			t.Errorf("SelectNth(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := b.SelectNth(len(set)); got != -1 {
+		t.Errorf("SelectNth past count = %d, want -1", got)
+	}
+	if got := b.SelectNth(-1); got != -1 {
+		t.Errorf("SelectNth(-1) = %d, want -1", got)
+	}
+}
+
+func TestBitsetAndCount(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	full := []uint64{^uint64(0), ^uint64(0), ^uint64(0)}
+	if got := b.AndCount(full); got != 4 {
+		t.Errorf("AndCount(all-ones) = %d, want 4", got)
+	}
+	// Mask shorter than the bitset: words beyond it count as zero.
+	if got := b.AndCount(full[:1]); got != 2 {
+		t.Errorf("AndCount(one word) = %d, want 2", got)
+	}
+	if got := b.AndCount(nil); got != 0 {
+		t.Errorf("AndCount(nil) = %d, want 0", got)
+	}
+	only64 := []uint64{0, 1, 0}
+	if got := b.AndCount(only64); got != 1 {
+		t.Errorf("AndCount(bit 64 only) = %d, want 1", got)
+	}
+}
+
+// TestBitsetProperty cross-checks the word-parallel primitives against the
+// naive bit-at-a-time references on random contents, including sizes that
+// are not multiples of 64.
+func TestBitsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 63, 64, 65, 128, 160, 257} {
+		for trial := 0; trial < 50; trial++ {
+			b := NewBitset(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					b.Set(i)
+				}
+			}
+			mask := make([]uint64, rng.Intn(len(b.Words())+1))
+			for i := range mask {
+				mask[i] = rng.Uint64()
+			}
+			for from := -1; from <= n; from++ {
+				if got, want := b.NextSet(from), naiveNextSet(b, from); got != want {
+					t.Fatalf("n=%d NextSet(%d) = %d, want %d", n, from, got, want)
+				}
+			}
+			for k := -1; k <= b.Count()+1; k++ {
+				if got, want := b.SelectNth(k), naiveSelectNth(b, k); got != want {
+					t.Fatalf("n=%d SelectNth(%d) = %d, want %d", n, k, got, want)
+				}
+			}
+			if got, want := b.AndCount(mask), naiveAndCount(b, mask); got != want {
+				t.Fatalf("n=%d AndCount = %d, want %d", n, got, want)
+			}
+			// Count/Any stay consistent with the reference view.
+			cnt := 0
+			for i := 0; i < n; i++ {
+				if b.Get(i) {
+					cnt++
+				}
+			}
+			if b.Count() != cnt || b.Any() != (cnt > 0) {
+				t.Fatalf("n=%d Count=%d Any=%v, want %d/%v", n, b.Count(), b.Any(), cnt, cnt > 0)
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"crisp/internal/branch"
 	"crisp/internal/cache"
@@ -60,8 +62,10 @@ type Core struct {
 
 	marker Marker
 
-	// Fetch state.
+	// Fetch state. fetchQ is a ring buffer (capacity fixed at FTQSize +
+	// FetchWidth) so steady-state fetch/dispatch moves no memory.
 	fetchQ            []fqEntry
+	fqHead, fqLen     int
 	fetchBlockedUntil uint64
 	waitingBranchSeq  int64 // seq of unresolved mispredicted branch, -1 none
 	mispredictPending bool  // a mispredicted branch is fetched but not yet dispatched
@@ -77,12 +81,22 @@ type Core struct {
 	matrix    *AgeMatrix
 	regProd   [isa.NumRegs]int64
 	regProdPC [isa.NumRegs]int
-	storeQ    []uint64 // seqs of in-flight stores, FIFO
+	storeQ    []uint64 // ring buffer of in-flight store seqs, FIFO
+	sqHead    int
 	lqCount   int
 	sqCount   int
 	portBusy  [isa.NumPortClasses][]uint64
 	rng       uint64
 	producers []int // scratch for marker callbacks
+
+	// Incremental scheduler state (see wakeup.go): persistent BID/PRIO
+	// vectors plus the wakeup machinery that maintains them.
+	readyBid, readyPrio     *Bitset
+	scratchBid, scratchPrio *Bitset
+	waitCount               []int8  // per RS slot: outstanding unready deps
+	waiterHead              []int32 // per ROB index: waiter chain head, -1 empty
+	waiterNext              []int32 // per chain node (slot*3 + dep index)
+	wakeups                 wakeupHeap
 
 	cycle uint64
 	stats Result
@@ -109,6 +123,21 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 		slots:  make([]*entry, cfg.RSSize),
 		matrix: NewAgeMatrix(cfg.RSSize),
 		rng:    0x853C49E6748FEA9B,
+
+		fetchQ: make([]fqEntry, cfg.FTQSize+cfg.FetchWidth+1),
+		storeQ: make([]uint64, cfg.StoreQueue),
+
+		readyBid:    NewBitset(cfg.RSSize),
+		readyPrio:   NewBitset(cfg.RSSize),
+		scratchBid:  NewBitset(cfg.RSSize),
+		scratchPrio: NewBitset(cfg.RSSize),
+		waitCount:   make([]int8, cfg.RSSize),
+		waiterHead:  make([]int32, cfg.ROBSize),
+		waiterNext:  make([]int32, cfg.RSSize*3),
+		wakeups:     make(wakeupHeap, 0, cfg.RSSize*3),
+	}
+	for i := range c.waiterHead {
+		c.waiterHead[i] = -1
 	}
 	if cfg.PerfectBP {
 		c.bp = branch.Perfect{}
@@ -149,6 +178,10 @@ func (c *Core) nextRand() uint64 {
 
 // Run simulates to completion and returns the results.
 func (c *Core) Run() *Result {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startAllocs := ms.Mallocs
+	start := time.Now()
 	for !c.finished() {
 		c.commit()
 		c.issue()
@@ -161,9 +194,12 @@ func (c *Core) Run() *Result {
 		}
 		if c.cycle-c.lastRetire > 2_000_000 {
 			panic(fmt.Sprintf("core: no commit for 2M cycles at cycle %d (head seq %d tail %d, fetchQ %d)",
-				c.cycle, c.headSeq, c.tailSeq, len(c.fetchQ)))
+				c.cycle, c.headSeq, c.tailSeq, c.fqLen))
 		}
 	}
+	c.stats.HostNS = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&ms)
+	c.stats.HostAllocs = ms.Mallocs - startAllocs
 	c.stats.Cycles = c.cycle
 	c.stats.L1I = c.hier.L1I.Stats()
 	c.stats.L1D = c.hier.L1D.Stats()
@@ -175,7 +211,7 @@ func (c *Core) Run() *Result {
 }
 
 func (c *Core) finished() bool {
-	return c.streamDone && len(c.fetchQ) == 0 && c.headSeq == c.tailSeq
+	return c.streamDone && c.fqLen == 0 && c.headSeq == c.tailSeq
 }
 
 // ---------------------------------------------------------------- commit
@@ -199,10 +235,10 @@ func (c *Core) commit() {
 		case isa.OpStore:
 			// Drain the store buffer to the cache in the background.
 			c.hier.Data(uint64(e.d.PC), e.d.Addr, true, c.cycle)
-			if len(c.storeQ) == 0 || c.storeQ[0] != e.seq {
+			if c.sqCount == 0 || c.storeQ[c.sqHead] != e.seq {
 				panic("core: store queue out of sync at commit")
 			}
-			c.storeQ = c.storeQ[1:]
+			c.sqHead = (c.sqHead + 1) % len(c.storeQ)
 			c.sqCount--
 		}
 		if e.critical {
@@ -227,29 +263,19 @@ func (c *Core) commit() {
 // selection but consults the PRIO vector first (Figure 6), so
 // critical-tagged instructions claim selection slots and ports before
 // older non-critical work.
+//
+// The BID/PRIO vectors are persistent and maintained incrementally by the
+// wakeup machinery (wakeup.go); each cycle only drains due wakeups and
+// word-copies the vectors into scratch so the selection loop can consume
+// bits without disturbing the persistent state of not-issued picks.
 func (c *Core) issue() {
-	bid := NewBitset(c.cfg.RSSize)
-	prio := NewBitset(c.cfg.RSSize)
-	any := false
-	for s, e := range c.slots {
-		if e == nil || e.issued {
-			continue
-		}
-		if !c.depReady(e.dep1, c.cycle) || !c.depReady(e.dep2, c.cycle) {
-			continue
-		}
-		if e.d.Inst.Op == isa.OpLoad && e.storeDep >= 0 && !c.depReady(e.storeDep, c.cycle) {
-			continue // wait for the forwarding store's data
-		}
-		bid.Set(s)
-		if e.critical {
-			prio.Set(s)
-		}
-		any = true
-	}
-	if !any {
+	c.drainWakeups()
+	if !c.readyBid.Any() {
 		return
 	}
+	bid, prio := c.scratchBid, c.scratchPrio
+	bid.CopyFrom(c.readyBid)
+	prio.CopyFrom(c.readyPrio)
 
 	width := c.cfg.FetchWidth // issue width matches machine width (6)
 	for n := 0; n < width; n++ {
@@ -264,11 +290,60 @@ func (c *Core) issue() {
 		port := c.freePort(cls)
 		if port < 0 {
 			// Selected but no free functional unit: the selection slot is
-			// consumed and the instruction retries next cycle.
+			// consumed and the instruction retries next cycle (its
+			// persistent BID bit stays set).
 			continue
 		}
+		c.readyBid.Clear(slot)
+		c.readyPrio.Clear(slot)
 		c.execute(e, cls, port)
 	}
+}
+
+// drainWakeups applies every wakeup due at or before the current cycle; a
+// slot whose last outstanding dependence resolves becomes a selection
+// candidate.
+func (c *Core) drainWakeups() {
+	for len(c.wakeups) > 0 && c.wakeups[0].at <= c.cycle {
+		slot := c.wakeups.pop().slot
+		if c.waitCount[slot]--; c.waitCount[slot] == 0 {
+			c.setReady(int(slot))
+		}
+	}
+}
+
+// setReady marks an RS slot as a selection candidate.
+func (c *Core) setReady(slot int) {
+	c.readyBid.Set(slot)
+	if c.slots[slot].critical {
+		c.readyPrio.Set(slot)
+	}
+}
+
+// armDep accounts one producer dependence of the instruction in slot.
+// It returns 0 when the value is already available this cycle; otherwise
+// it returns 1 after scheduling the wakeup — timed if the producer's
+// completion cycle is known, chained onto the producer's waiter list if
+// the producer has not executed yet. dep distinguishes the slot's up to
+// three dependences (src1, src2, forwarding store) so two dependences on
+// the same producer chain independently.
+func (c *Core) armDep(seq int64, slot, dep int) int {
+	if seq < 0 || uint64(seq) < c.headSeq {
+		return 0 // architecturally ready or committed
+	}
+	p := c.robEntry(uint64(seq))
+	if p.done {
+		if p.doneAt <= c.cycle {
+			return 0
+		}
+		c.wakeups.push(p.doneAt, int32(slot))
+		return 1
+	}
+	node := int32(slot*3 + dep)
+	robIdx := int32(uint64(seq) % uint64(len(c.rob)))
+	c.waiterNext[node] = c.waiterHead[robIdx]
+	c.waiterHead[robIdx] = node
+	return 1
 }
 
 // freePort returns an available port index in the class, or -1.
@@ -288,13 +363,12 @@ func (c *Core) pick(bid, prio *Bitset) int {
 		if s := c.matrix.OldestAmong(prio); s >= 0 {
 			c.stats.IssuedCritical++
 			// Diagnostic: how many older ready entries did the PRIO pick
-			// bypass?
-			seq := c.slots[s].seq
-			for i := 0; i < c.cfg.RSSize; i++ {
-				if bid.Get(i) && c.slots[i] != nil && c.slots[i].seq < seq {
-					c.stats.QueueJumpSum++
-				}
-			}
+			// bypass? The pick's age-matrix row has exactly the
+			// older-instruction bits, so a masked popcount against the
+			// candidate vector answers in RSSize/64 word operations.
+			// (Stale row bits belong to freed slots, which are never BID
+			// candidates.)
+			c.stats.QueueJumpSum += uint64(bid.AndCount(c.matrix.Row(s)))
 			return s
 		}
 		return c.matrix.OldestAmong(bid)
@@ -303,16 +377,7 @@ func (c *Core) pick(bid, prio *Bitset) int {
 		if n == 0 {
 			return -1
 		}
-		k := int(c.nextRand() % uint64(n))
-		for i := 0; i < c.cfg.RSSize; i++ {
-			if bid.Get(i) {
-				if k == 0 {
-					return i
-				}
-				k--
-			}
-		}
-		return -1
+		return bid.SelectNth(int(c.nextRand() % uint64(n)))
 	default:
 		return c.matrix.OldestAmong(bid)
 	}
@@ -361,6 +426,14 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 	}
 	e.done = true
 
+	// The completion cycle is now known: convert consumers that chained
+	// onto this producer into timed wakeups.
+	robIdx := int32(e.seq % uint64(len(c.rob)))
+	for node := c.waiterHead[robIdx]; node >= 0; node = c.waiterNext[node] {
+		c.wakeups.push(e.doneAt, node/3)
+	}
+	c.waiterHead[robIdx] = -1
+
 	if e.mispredicted {
 		// The branch has resolved: the frontend refetches from the correct
 		// path after the redirect penalty.
@@ -375,10 +448,10 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 
 func (c *Core) dispatch() {
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) == 0 {
+		if c.fqLen == 0 {
 			return
 		}
-		f := &c.fetchQ[0]
+		f := &c.fetchQ[c.fqHead]
 		if f.dispatchReadyAt > c.cycle {
 			return
 		}
@@ -418,7 +491,7 @@ func (c *Core) dispatch() {
 			c.lqCount++
 		}
 		if op == isa.OpStore {
-			c.storeQ = append(c.storeQ, seq)
+			c.storeQ[(c.sqHead+c.sqCount)%len(c.storeQ)] = seq
 			c.sqCount++
 		}
 
@@ -442,12 +515,21 @@ func (c *Core) dispatch() {
 
 		c.matrix.Insert(slot)
 		c.slots[slot] = e
+		wait := c.armDep(e.dep1, slot, 0) + c.armDep(e.dep2, slot, 1)
+		if op == isa.OpLoad {
+			wait += c.armDep(e.storeDep, slot, 2)
+		}
+		c.waitCount[slot] = int8(wait)
+		if wait == 0 {
+			c.setReady(slot)
+		}
 		c.tailSeq++
 		if f.mispredicted {
 			c.mispredictPending = false
 			c.waitingBranchSeq = int64(seq)
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+		c.fqLen--
 	}
 }
 
@@ -455,8 +537,8 @@ func (c *Core) dispatch() {
 // store whose 8-byte access overlaps the load's, or -1. Addresses are
 // exact (oracle), modeling perfect memory disambiguation.
 func (c *Core) findForwardingStore(d *emu.DynInst) int64 {
-	for i := len(c.storeQ) - 1; i >= 0; i-- {
-		se := c.robEntry(c.storeQ[i])
+	for i := c.sqCount - 1; i >= 0; i-- {
+		se := c.robEntry(c.storeQ[(c.sqHead+i)%len(c.storeQ)])
 		delta := int64(d.Addr) - int64(se.d.Addr)
 		if delta < 8 && delta > -8 {
 			return int64(se.seq)
@@ -475,7 +557,7 @@ func (c *Core) fetch() {
 	if c.streamDone {
 		return
 	}
-	if len(c.fetchQ) >= c.cfg.FTQSize {
+	if c.fqLen >= c.cfg.FTQSize {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
@@ -537,7 +619,11 @@ func (c *Core) fetch() {
 }
 
 func (c *Core) pushFetched(d emu.DynInst, misp bool, readyAt uint64) {
-	c.fetchQ = append(c.fetchQ, fqEntry{d: d, mispredicted: misp, dispatchReadyAt: readyAt})
+	if c.fqLen == len(c.fetchQ) {
+		panic("core: fetch queue overflow")
+	}
+	c.fetchQ[(c.fqHead+c.fqLen)%len(c.fetchQ)] = fqEntry{d: d, mispredicted: misp, dispatchReadyAt: readyAt}
+	c.fqLen++
 }
 
 // fetchBranch models prediction for one branch µop. It returns whether the

@@ -1,0 +1,85 @@
+package core_test
+
+// Golden equivalence test for the scheduler/memory hot-path overhaul: the
+// incremental BID/PRIO wakeup scheduler, the word-parallel pickers, and
+// the emulator page cache must be cycle-exact with the original
+// scan-per-cycle implementation. The constants below were recorded from
+// the seed implementation (full RS rescan each cycle, allocation per
+// cycle, map lookup per access) on two deterministic workloads; any drift
+// in Cycles, Insts, or the CRISP diagnostics is a behavior change, not an
+// optimization.
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/isa"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+const goldenInsts = 60_000
+
+type goldenCase struct {
+	workload string
+	sched    core.SchedulerKind
+	cycles   uint64
+	insts    uint64
+	// CRISP-only diagnostics; zero for the other policies.
+	queueJumpSum   uint64
+	issuedCritical uint64
+}
+
+var goldenCases = []goldenCase{
+	{"pointerchase", core.SchedOldestFirst, 72672, 60000, 0, 0},
+	{"pointerchase", core.SchedCRISP, 70793, 60000, 286371, 76258},
+	{"pointerchase", core.SchedRandom, 75224, 60000, 0, 0},
+	{"mcf", core.SchedOldestFirst, 65952, 60000, 0, 0},
+	{"mcf", core.SchedCRISP, 63879, 60000, 320412, 79339},
+	{"mcf", core.SchedRandom, 65410, 60000, 0, 0},
+}
+
+// goldenImage builds the ref image for a case; for the CRISP policy every
+// static load carries the critical prefix so the PRIO path, queue-jump
+// diagnostic, and store-forwarding wakeups are all exercised without
+// running the full software pipeline.
+func goldenImage(t *testing.T, name string, sched core.SchedulerKind) *sim.Image {
+	t.Helper()
+	img := workload.ByName(name).Build(workload.Ref)
+	if sched == core.SchedCRISP {
+		p := img.Prog.Clone()
+		var pcs []int
+		for pc := range p.Insts {
+			if p.Insts[pc].Op == isa.OpLoad {
+				pcs = append(pcs, pc)
+			}
+		}
+		p.SetCritical(pcs)
+		img.Prog = p
+	}
+	return img
+}
+
+func TestGoldenSchedulerEquivalence(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.workload+"/"+tc.sched.String(), func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			cfg.Core.MaxInsts = goldenInsts
+			r := sim.Run(goldenImage(t, tc.workload, tc.sched), cfg.WithSched(tc.sched))
+			if r.Cycles != tc.cycles {
+				t.Errorf("Cycles = %d, want %d (IPC %.6f, want %.6f)",
+					r.Cycles, tc.cycles, r.IPC(), float64(tc.insts)/float64(tc.cycles))
+			}
+			if r.Insts != tc.insts {
+				t.Errorf("Insts = %d, want %d", r.Insts, tc.insts)
+			}
+			if r.QueueJumpSum != tc.queueJumpSum {
+				t.Errorf("QueueJumpSum = %d, want %d", r.QueueJumpSum, tc.queueJumpSum)
+			}
+			if r.IssuedCritical != tc.issuedCritical {
+				t.Errorf("IssuedCritical = %d, want %d", r.IssuedCritical, tc.issuedCritical)
+			}
+		})
+	}
+}

@@ -85,6 +85,37 @@ type Result struct {
 
 	// UPC timeline: retired µops per UPCWindow-cycle window (Figure 1).
 	UPCWindows []float64
+
+	// Host throughput: how fast the simulator itself ran, as opposed to
+	// the simulated machine. HostAllocs is the process-wide heap
+	// allocation delta across Run, so concurrent runs inflate each
+	// other's counts; per-run numbers are exact only single-threaded.
+	HostNS     int64  // wall-clock nanoseconds spent inside Run
+	HostAllocs uint64 // heap allocations observed during Run
+}
+
+// HostMIPS returns simulated million-instructions per host second.
+func (r *Result) HostMIPS() float64 {
+	if r.HostNS == 0 {
+		return 0
+	}
+	return float64(r.Insts) * 1e3 / float64(r.HostNS)
+}
+
+// HostNSPerInst returns host nanoseconds per simulated instruction.
+func (r *Result) HostNSPerInst() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.HostNS) / float64(r.Insts)
+}
+
+// HostAllocsPerInst returns heap allocations per simulated instruction.
+func (r *Result) HostAllocsPerInst() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.HostAllocs) / float64(r.Insts)
 }
 
 // IPC returns committed instructions per cycle.

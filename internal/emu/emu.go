@@ -6,6 +6,7 @@
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"crisp/internal/isa"
@@ -28,12 +29,28 @@ const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
 	pageMask  = pageSize - 1
+
+	// pcacheSize is the direct-mapped page-translation cache in front of
+	// the pages map. Must be a power of two.
+	pcacheSize = 64
+	pcacheMask = pcacheSize - 1
 )
 
 // Memory is a sparse, paged byte-addressable memory. The zero value is
 // ready to use. Reads of unbacked addresses return zero.
+//
+// Page translation is served by a last-page register and a small
+// direct-mapped cache before falling back to the map, so the common
+// sequential- and strided-access cases skip hashing entirely. Pages are
+// never deallocated, so cached translations need no invalidation.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	lastPN uint64
+	lastPg *[pageSize]byte
+
+	pcachePN [pcacheSize]uint64 // pn+1; 0 = invalid
+	pcachePg [pcacheSize]*[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -41,28 +58,42 @@ func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*[pageSize]byte
 
 func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if m.lastPg != nil && m.lastPN == pn {
+		return m.lastPg
+	}
+	idx := pn & pcacheMask
+	if m.pcachePN[idx] == pn+1 {
+		p := m.pcachePg[idx]
+		m.lastPN, m.lastPg = pn, p
+		return p
+	}
 	p := m.pages[pn]
-	if p == nil && alloc {
+	if p == nil {
+		if !alloc {
+			// Unbacked reads are not cached: the page may be allocated
+			// later and the cached nil would go stale.
+			return nil
+		}
 		p = new([pageSize]byte)
+		if m.pages == nil {
+			m.pages = make(map[uint64]*[pageSize]byte)
+		}
 		m.pages[pn] = p
 	}
+	m.pcachePN[idx], m.pcachePg[idx] = pn+1, p
+	m.lastPN, m.lastPg = pn, p
 	return p
 }
 
 // ReadWord reads the 8-byte little-endian word at addr (may straddle a
 // page boundary).
 func (m *Memory) ReadWord(addr uint64) int64 {
-	if addr&pageMask <= pageSize-8 {
+	if off := addr & pageMask; off <= pageSize-8 {
 		p := m.page(addr, false)
 		if p == nil {
 			return 0
 		}
-		off := addr & pageMask
-		var v uint64
-		for i := uint64(0); i < 8; i++ {
-			v |= uint64(p[off+i]) << (8 * i)
-		}
-		return int64(v)
+		return int64(binary.LittleEndian.Uint64(p[off:]))
 	}
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
@@ -73,18 +104,67 @@ func (m *Memory) ReadWord(addr uint64) int64 {
 
 // WriteWord writes the 8-byte little-endian word v at addr.
 func (m *Memory) WriteWord(addr uint64, v int64) {
-	if addr&pageMask <= pageSize-8 {
-		p := m.page(addr, true)
-		off := addr & pageMask
-		u := uint64(v)
-		for i := uint64(0); i < 8; i++ {
-			p[off+i] = byte(u >> (8 * i))
-		}
+	if off := addr & pageMask; off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], uint64(v))
 		return
 	}
 	u := uint64(v)
 	for i := uint64(0); i < 8; i++ {
 		m.writeByte(addr+i, byte(u>>(8*i)))
+	}
+}
+
+// WriteWords writes len(vals) consecutive 8-byte little-endian words
+// starting at addr, resolving each page once per in-page run instead of
+// once per word. Workload initializers use it to populate large arrays.
+func (m *Memory) WriteWords(addr uint64, vals []int64) {
+	for len(vals) > 0 {
+		off := addr & pageMask
+		if off > pageSize-8 {
+			m.WriteWord(addr, vals[0]) // straddling word: slow path
+			addr += 8
+			vals = vals[1:]
+			continue
+		}
+		p := m.page(addr, true)
+		n := int((pageSize - off) / 8)
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(p[off+uint64(i)*8:], uint64(vals[i]))
+		}
+		addr += uint64(n) * 8
+		vals = vals[n:]
+	}
+}
+
+// ReadWords fills dst with len(dst) consecutive 8-byte little-endian
+// words starting at addr; unbacked ranges read as zero.
+func (m *Memory) ReadWords(addr uint64, dst []int64) {
+	for len(dst) > 0 {
+		off := addr & pageMask
+		if off > pageSize-8 {
+			dst[0] = m.ReadWord(addr) // straddling word: slow path
+			addr += 8
+			dst = dst[1:]
+			continue
+		}
+		n := int((pageSize - off) / 8)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := m.page(addr, false); p == nil {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = int64(binary.LittleEndian.Uint64(p[off+uint64(i)*8:]))
+			}
+		}
+		addr += uint64(n) * 8
+		dst = dst[n:]
 	}
 }
 

@@ -177,6 +177,18 @@ func (l *Lab) RunIBDA(w *workload.Workload, istEntries, istWays int, cfg sim.Con
 // gain returns the IPC improvement of r over base in percent.
 func gain(r, base *core.Result) float64 { return (r.IPC()/base.IPC() - 1) * 100 }
 
+// HostThroughputNote formats the process-cumulative simulator speed
+// (sim.HostTotals) as a table footnote, so every figure records how fast
+// the runs behind it were simulated. It returns "" before any run.
+func HostThroughputNote() string {
+	insts, ns := sim.HostTotals()
+	if ns == 0 {
+		return ""
+	}
+	return fmt.Sprintf("host throughput: %.2f simulated MIPS cumulative (%d insts)",
+		float64(insts)*1e3/float64(ns), insts)
+}
+
 // forEach runs f for every workload in the suite concurrently and
 // collects rows in suite order.
 func (l *Lab) forEach(names []string, f func(w *workload.Workload) Row) []Row {

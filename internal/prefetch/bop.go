@@ -20,6 +20,8 @@ type BOP struct {
 	ScoreMax int // stop a round early when a score reaches this
 	RoundMax int // number of test iterations per learning round
 	BadScore int // below this the prefetcher turns off
+
+	out [1]uint64
 }
 
 // bopOffsets is the candidate offset list: positive and negative line
@@ -68,7 +70,8 @@ func (b *BOP) OnAccess(_, addr uint64, hit bool) []uint64 {
 	if target < 0 {
 		return nil
 	}
-	return []uint64{uint64(target) * lineSize}
+	b.out[0] = uint64(target) * lineSize
+	return b.out[:]
 }
 
 func (b *BOP) train(line uint64) {
@@ -124,6 +127,9 @@ type GHB struct {
 	size  int
 	index map[uint64]int // pc -> most recent buffer position
 	Depth int            // deltas to replay per prediction
+
+	deltas []int64
+	out    []uint64
 }
 
 type ghbEntry struct {
@@ -161,7 +167,7 @@ func (g *GHB) OnAccess(pc, addr uint64, hit bool) []uint64 {
 	g.head++
 
 	// Walk the chain to collect recent per-PC deltas (newest first).
-	var deltas []int64
+	deltas := g.deltas[:0]
 	cur := id
 	for len(deltas) < 8 {
 		ce := g.buf[cur%g.size]
@@ -175,6 +181,7 @@ func (g *GHB) OnAccess(pc, addr uint64, hit bool) []uint64 {
 		deltas = append(deltas, int64(ce.addr)-int64(pe.addr))
 		cur = ce.prev
 	}
+	g.deltas = deltas
 	if len(deltas) < 3 {
 		return nil
 	}
@@ -184,7 +191,7 @@ func (g *GHB) OnAccess(pc, addr uint64, hit bool) []uint64 {
 	for i := 2; i+1 < len(deltas); i++ {
 		if deltas[i] == d0 && deltas[i+1] == d1 {
 			// deltas[i-1], deltas[i-2], ... followed the pair historically.
-			var out []uint64
+			out := g.out[:0]
 			next := int64(line)
 			for j := i - 1; j >= 0 && len(out) < g.Depth; j-- {
 				next += deltas[j]
@@ -192,6 +199,7 @@ func (g *GHB) OnAccess(pc, addr uint64, hit bool) []uint64 {
 					out = append(out, uint64(next)*lineSize)
 				}
 			}
+			g.out = out
 			return out
 		}
 	}

@@ -3,7 +3,10 @@
 // Michaud 2016) plus a stream prefetcher; the paper also reports trying
 // stride and GHB prefetchers as baselines. All implement the structural
 // interface expected by the cache package: OnAccess(pc, addr, hit) ->
-// prefetch addresses.
+// prefetch addresses. To keep the per-access hot path allocation-free,
+// every prefetcher reuses an internal scratch buffer for its suggestions:
+// the returned slice is valid only until the next OnAccess call on the
+// same prefetcher, and callers must consume (or copy) it before then.
 //
 // CRISP's premise is that these prefetchers cover regular (stride and
 // periodic) patterns but cannot cover irregular ones like pointer chasing;
@@ -13,7 +16,11 @@ package prefetch
 const lineSize = 64
 
 // NextLine prefetches the next sequential line on every access.
-type NextLine struct{ Degree int }
+type NextLine struct {
+	Degree int
+
+	out []uint64
+}
 
 // OnAccess implements the prefetcher interface.
 func (p *NextLine) OnAccess(_, addr uint64, _ bool) []uint64 {
@@ -21,12 +28,12 @@ func (p *NextLine) OnAccess(_, addr uint64, _ bool) []uint64 {
 	if deg <= 0 {
 		deg = 1
 	}
-	out := make([]uint64, deg)
+	p.out = p.out[:0]
 	line := addr &^ (lineSize - 1)
-	for i := range out {
-		out[i] = line + uint64(i+1)*lineSize
+	for i := 0; i < deg; i++ {
+		p.out = append(p.out, line+uint64(i+1)*lineSize)
 	}
-	return out
+	return p.out
 }
 
 // Stride is a PC-indexed stride prefetcher with confidence counters.
@@ -35,6 +42,8 @@ type Stride struct {
 	cap   int
 	// Distance is how many strides ahead to prefetch (default 4).
 	Distance int
+
+	out [1]uint64
 }
 
 type strideEntry struct {
@@ -76,7 +85,8 @@ func (p *Stride) OnAccess(pc, addr uint64, _ bool) []uint64 {
 	}
 	e.lastAddr = addr
 	if e.conf >= 2 && e.stride != 0 {
-		return []uint64{uint64(int64(addr) + e.stride*int64(p.Distance))}
+		p.out[0] = uint64(int64(addr) + e.stride*int64(p.Distance))
+		return p.out[:]
 	}
 	return nil
 }
@@ -87,6 +97,8 @@ type Stream struct {
 	regions map[uint64]*streamEntry
 	cap     int
 	Degree  int
+
+	out []uint64
 }
 
 type streamEntry struct {
@@ -139,14 +151,14 @@ func (p *Stream) OnAccess(_, addr uint64, _ bool) []uint64 {
 	if e.count < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.Degree)
+	p.out = p.out[:0]
 	for i := 1; i <= p.Degree; i++ {
 		next := line + dir*int64(i)
 		if next >= 0 {
-			out = append(out, uint64(next)*lineSize)
+			p.out = append(p.out, uint64(next)*lineSize)
 		}
 	}
-	return out
+	return p.out
 }
 
 // Composite chains prefetchers, concatenating their suggestions (Table 1
@@ -155,13 +167,15 @@ type Composite struct {
 	Parts []interface {
 		OnAccess(pc, addr uint64, hit bool) []uint64
 	}
+
+	out []uint64
 }
 
 // OnAccess implements the prefetcher interface.
 func (c *Composite) OnAccess(pc, addr uint64, hit bool) []uint64 {
-	var out []uint64
+	c.out = c.out[:0]
 	for _, p := range c.Parts {
-		out = append(out, p.OnAccess(pc, addr, hit)...)
+		c.out = append(c.out, p.OnAccess(pc, addr, hit)...)
 	}
-	return out
+	return c.out
 }

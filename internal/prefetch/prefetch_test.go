@@ -47,10 +47,12 @@ func TestStrideIgnoresRandom(t *testing.T) {
 func TestStridePerPC(t *testing.T) {
 	p := NewStride(64)
 	// Interleave two PCs with different strides; both must train.
+	// OnAccess reuses its scratch buffer, so snapshot each prediction
+	// before the next call.
 	var gotA, gotB []uint64
 	for i := 0; i < 10; i++ {
-		gotA = p.OnAccess(0x10, uint64(0x10000+i*64), false)
-		gotB = p.OnAccess(0x20, uint64(0x80000+i*4096), false)
+		gotA = append(gotA[:0], p.OnAccess(0x10, uint64(0x10000+i*64), false)...)
+		gotB = append(gotB[:0], p.OnAccess(0x20, uint64(0x80000+i*4096), false)...)
 	}
 	if len(gotA) != 1 || gotA[0] != uint64(0x10000+9*64+4*64) {
 		t.Errorf("pc A prediction = %#x", gotA)

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"crisp/internal/cache"
 	"crisp/internal/core"
@@ -30,9 +31,11 @@ type Image struct {
 	Regs map[isa.Reg]int64
 }
 
-// Clone returns an Image sharing the program but with no memory aliasing
-// hazards for reuse: the memory object is NOT copied, so each Image must
-// be built fresh per run. Clone only swaps the program (for tagging).
+// withProg returns a shallow copy of the Image running program p in place
+// of img's program (used to swap in a critical-tagged clone). The memory
+// and register map are shared, NOT copied: a run consumes its image's
+// memory state, so the original and the copy cannot both be simulated —
+// build a fresh Image per run.
 func (img *Image) withProg(p *program.Program) *Image {
 	return &Image{Prog: p, Mem: img.Mem, Regs: img.Regs}
 }
@@ -132,7 +135,26 @@ func Run(img *Image, cfg Config) *core.Result {
 		em.SetReg(r, v)
 	}
 	c := core.New(cfg.Core, img.Prog, em, hier, marker)
-	return c.Run()
+	r := c.Run()
+	hostInsts.Add(r.Insts)
+	hostNS.Add(uint64(r.HostNS))
+	return r
+}
+
+// Cumulative host-throughput counters across every Run in the process
+// (timing runs only; trace captures are not counted).
+var hostInsts, hostNS atomic.Uint64
+
+// HostTotals returns the total simulated instructions and host
+// nanoseconds spent inside core.Run since process start (or the last
+// ResetHostTotals). With concurrent runs the nanoseconds are summed
+// per-run CPU-ish time, not wall time.
+func HostTotals() (insts, ns uint64) { return hostInsts.Load(), hostNS.Load() }
+
+// ResetHostTotals zeroes the cumulative host-throughput counters.
+func ResetHostTotals() {
+	hostInsts.Store(0)
+	hostNS.Store(0)
 }
 
 // CaptureTrace functionally executes the image and records up to limit
@@ -173,8 +195,9 @@ func (p *Pipeline) Tagged(img *Image) *Image {
 	return img.withProg(p.Analysis.Apply(img.Prog))
 }
 
-// Describe formats a one-line summary of a result for logs.
+// Describe formats a one-line summary of a result for logs, including the
+// host-side simulation speed.
 func Describe(name string, r *core.Result) string {
-	return fmt.Sprintf("%-14s IPC %.3f cycles %d insts %d LLC-MPKI %.2f brMPKI %.2f",
-		name, r.IPC(), r.Cycles, r.Insts, r.LLCMPKI(), r.BranchMPKI())
+	return fmt.Sprintf("%-14s IPC %.3f cycles %d insts %d LLC-MPKI %.2f brMPKI %.2f host %.2f MIPS",
+		name, r.IPC(), r.Cycles, r.Insts, r.LLCMPKI(), r.BranchMPKI(), r.HostMIPS())
 }

@@ -38,6 +38,51 @@ type Trace struct {
 	Records []Record
 }
 
+// storeIndexPageWords is the granularity of the capture-time store index:
+// one page covers 512 aligned 8-byte words (4 KiB of address space).
+const storeIndexPageWords = 512
+
+// storeIndex maps 8-byte-aligned word addresses to the trace index of the
+// most recent store covering them. It is a sparse paged array with a
+// last-page register so the per-instruction hot path of Capture indexes
+// an array instead of hashing into a map.
+type storeIndex struct {
+	pages  map[uint64]*[storeIndexPageWords]uint32
+	lastPN uint64
+	lastPg *[storeIndexPageWords]uint32
+}
+
+func (s *storeIndex) page(word uint64, alloc bool) *[storeIndexPageWords]uint32 {
+	pn := word / storeIndexPageWords
+	if s.lastPg != nil && s.lastPN == pn {
+		return s.lastPg
+	}
+	p := s.pages[pn]
+	if p == nil {
+		if !alloc {
+			return nil
+		}
+		p = new([storeIndexPageWords]uint32)
+		for i := range p {
+			p[i] = NoDep
+		}
+		s.pages[pn] = p
+	}
+	s.lastPN, s.lastPg = pn, p
+	return p
+}
+
+func (s *storeIndex) get(word uint64) uint32 {
+	if p := s.page(word, false); p != nil {
+		return p[word%storeIndexPageWords]
+	}
+	return NoDep
+}
+
+func (s *storeIndex) set(word uint64, idx uint32) {
+	s.page(word, true)[word%storeIndexPageWords] = idx
+}
+
 // Capture runs the emulator for at most limit instructions (to Halt if
 // limit <= 0), recording every instruction and resolving producer links on
 // the fly.
@@ -52,9 +97,7 @@ func Capture(e *emu.Emulator, limit uint64) *Trace {
 	for i := range lastRegWriter {
 		lastRegWriter[i] = NoDep
 	}
-	// lastStore maps 8-byte-aligned word address to the trace index of the
-	// most recent store covering it.
-	lastStore := make(map[uint64]uint32)
+	lastStore := &storeIndex{pages: make(map[uint64]*[storeIndexPageWords]uint32)}
 
 	var n uint64
 	for limit <= 0 || n < limit {
@@ -77,11 +120,9 @@ func Capture(e *emu.Emulator, limit uint64) *Trace {
 		}
 		switch in.Op {
 		case isa.OpLoad:
-			if dep, ok := lastStore[d.Addr&^7]; ok {
-				rec.MemDep = dep
-			}
+			rec.MemDep = lastStore.get(d.Addr >> 3)
 		case isa.OpStore:
-			lastStore[d.Addr&^7] = idx
+			lastStore.set(d.Addr>>3, idx)
 		}
 		if in.HasDst() {
 			lastRegWriter[in.Dst] = idx

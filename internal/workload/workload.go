@@ -142,11 +142,15 @@ func encodedRing(mem *emu.Memory, region uint64, nodes int, mask int64, r *rand.
 	return slots
 }
 
-// fillWords writes n sequential 8-byte values at base.
+// fillWords writes n sequential 8-byte values at base, staging them in a
+// buffer so the memory resolves each page once per run (Memory.WriteWords)
+// instead of once per word.
 func fillWords(mem *emu.Memory, base uint64, n int, f func(i int) int64) {
-	for i := 0; i < n; i++ {
-		mem.WriteWord(base+uint64(i)*8, f(i))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = f(i)
 	}
+	mem.WriteWords(base, vals)
 }
 
 // Standard register allocation shared by kernels (documented here so each
