@@ -38,7 +38,7 @@ func BenchmarkTable1_Config(b *testing.B) {
 func BenchmarkFig1_UPCTimeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l := newLab()
-		t := l.Figure1Skip(200, 60, 300)
+		t := l.Figure1Skip(200, 60, 300).MustTable()
 		if len(t.Rows) == 0 {
 			b.Fatal("no UPC windows")
 		}
@@ -50,7 +50,7 @@ func BenchmarkFig1_UPCTimeline(b *testing.B) {
 func BenchmarkSec31_MotivatingKernel(b *testing.B) {
 	var gainPct float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Section31()
+		t := newLab().Section31().MustTable()
 		gainPct = (t.Rows[1].Cells[0]/t.Rows[0].Cells[0] - 1) * 100
 	}
 	b.ReportMetric(gainPct, "ipc_gain_%")
@@ -60,7 +60,7 @@ func BenchmarkSec31_MotivatingKernel(b *testing.B) {
 func BenchmarkFig4_SliceSizes(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure4()
+		t := newLab().Figure4().MustTable()
 		sum := 0.0
 		for _, r := range t.Rows {
 			sum += r.Cells[0]
@@ -75,7 +75,7 @@ func BenchmarkFig4_SliceSizes(b *testing.B) {
 func BenchmarkFig7_CRISPvsIBDA(b *testing.B) {
 	var crispGeo, ibdaGeo float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure7()
+		t := newLab().Figure7().MustTable()
 		crispGeo = t.GeoMeanGain(0)
 		ibdaGeo = t.GeoMeanGain(1)
 	}
@@ -88,7 +88,7 @@ func BenchmarkFig7_CRISPvsIBDA(b *testing.B) {
 func BenchmarkFig8_SliceKinds(b *testing.B) {
 	var loadGeo, branchGeo, bothGeo float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure8()
+		t := newLab().Figure8().MustTable()
 		loadGeo, branchGeo, bothGeo = t.GeoMeanGain(0), t.GeoMeanGain(1), t.GeoMeanGain(2)
 	}
 	b.ReportMetric(loadGeo, "load_only_%")
@@ -101,7 +101,7 @@ func BenchmarkFig8_SliceKinds(b *testing.B) {
 func BenchmarkFig9_WindowSensitivity(b *testing.B) {
 	var small, base, big float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure9()
+		t := newLab().Figure9().MustTable()
 		small, base, big = t.GeoMeanGain(0), t.GeoMeanGain(1), t.GeoMeanGain(3)
 	}
 	b.ReportMetric(small, "64rs180rob_%")
@@ -113,7 +113,7 @@ func BenchmarkFig9_WindowSensitivity(b *testing.B) {
 func BenchmarkFig10_MissThreshold(b *testing.B) {
 	var t5, t1, t02 float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure10()
+		t := newLab().Figure10().MustTable()
 		t5, t1, t02 = t.GeoMeanGain(0), t.GeoMeanGain(1), t.GeoMeanGain(2)
 	}
 	b.ReportMetric(t5, "T5pct_%")
@@ -126,7 +126,7 @@ func BenchmarkFig10_MissThreshold(b *testing.B) {
 func BenchmarkFig11_CriticalCounts(b *testing.B) {
 	var maxCrit float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure11()
+		t := newLab().Figure11().MustTable()
 		maxCrit = 0
 		for _, r := range t.Rows {
 			if r.Cells[0] > maxCrit {
@@ -142,7 +142,7 @@ func BenchmarkFig11_CriticalCounts(b *testing.B) {
 func BenchmarkFig12_PrefixOverhead(b *testing.B) {
 	var dyn, icache float64
 	for i := 0; i < b.N; i++ {
-		t := newLab().Figure12()
+		t := newLab().Figure12().MustTable()
 		var sd, si float64
 		for _, r := range t.Rows {
 			sd += r.Cells[1]
@@ -211,8 +211,8 @@ func BenchmarkAblation_CriticalPathFilter(b *testing.B) {
 			prod := 1.0
 			for _, name := range l.Only {
 				wl := workload.ByName(name)
-				base := l.Baseline(wl, l.Cfg, "default")
-				cr := l.RunCRISP(wl, l.Analyze(wl, opts), l.Cfg)
+				base := l.Baseline(wl)
+				cr := l.RunCRISP(wl, opts)
 				prod *= cr.IPC() / base.IPC()
 			}
 			return (prod - 1) * 100
@@ -233,9 +233,9 @@ func BenchmarkAblation_MemoryDependencies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l := newLab()
 		w := workload.ByName("namd")
-		base := l.Baseline(w, l.Cfg, "default")
-		cr := l.RunCRISP(w, l.Analyze(w, crisp.DefaultOptions()), l.Cfg)
-		ib := l.RunIBDA(w, 0, 0, l.Cfg) // infinite IST, still register-only
+		base := l.Baseline(w)
+		cr := l.RunCRISP(w, crisp.DefaultOptions())
+		ib := l.RunIBDA(w, 0, 0) // infinite IST, still register-only
 		withMem = (cr.IPC()/base.IPC() - 1) * 100
 		ibdaGain = (ib.IPC()/base.IPC() - 1) * 100
 	}
@@ -315,12 +315,12 @@ func BenchmarkExtension_DivSlices(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l := newLab()
 		w := workload.ByName("nab")
-		base := l.Baseline(w, l.Cfg, "default")
+		base := l.Baseline(w)
 		optsOff := crisp.DefaultOptions()
 		optsOn := crisp.DefaultOptions()
 		optsOn.HighLatencyALU = true
-		off = (l.RunCRISP(w, l.Analyze(w, optsOff), l.Cfg).IPC()/base.IPC() - 1) * 100
-		on = (l.RunCRISP(w, l.Analyze(w, optsOn), l.Cfg).IPC()/base.IPC() - 1) * 100
+		off = (l.RunCRISP(w, optsOff).IPC()/base.IPC() - 1) * 100
+		on = (l.RunCRISP(w, optsOn).IPC()/base.IPC() - 1) * 100
 	}
 	b.ReportMetric(off, "loads_branches_%")
 	b.ReportMetric(on, "plus_div_slices_%")
@@ -333,7 +333,7 @@ func BenchmarkSensitivity_Prefetchers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l := newLab()
 		l.Only = []string{"mcf", "xalancbmk", "namd"}
-		t := l.PrefetcherSensitivity()
+		t := l.PrefetcherSensitivity().MustTable()
 		bop, stride, ghb = t.GeoMeanGain(0), t.GeoMeanGain(1), t.GeoMeanGain(2)
 	}
 	b.ReportMetric(bop, "over_bop_%")

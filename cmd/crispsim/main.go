@@ -1,38 +1,49 @@
 // Command crispsim runs one workload of the evaluation suite under a
 // chosen scheduler configuration and prints the timing results — the
-// quickest way to poke at the simulator.
+// quickest way to poke at the simulator. Flags assemble a declarative
+// sim.RunSpec executed through the shared runner, so -cache reuses (and
+// feeds) the same persistent result store as cmd/experiments.
 //
 // Usage:
 //
 //	crispsim -workload mcf -sched crisp -insts 500000
 //	crispsim -workload lbm -sched ooo
 //	crispsim -workload moses -sched ibda -ist 1024
+//	crispsim -workload mcf -sched crisp -cache .crisp-cache
 //	crispsim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/ibda"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
 	"crisp/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		name    = flag.String("workload", "pointerchase", "workload name (-list to enumerate)")
-		sched   = flag.String("sched", "crisp", "scheduler: ooo, crisp, random, ibda, perfect-bp")
-		insts   = flag.Uint64("insts", 400_000, "instructions to simulate")
-		ist     = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
-		rs      = flag.Int("rs", 96, "reservation station entries")
-		rob     = flag.Int("rob", 224, "reorder buffer entries")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		verbose = flag.Bool("v", false, "print per-load profiles of the hottest loads")
+		name     = flag.String("workload", "pointerchase", "workload name (-list to enumerate)")
+		sched    = flag.String("sched", "crisp", "scheduler: ooo, crisp, random, ibda, perfect-bp")
+		insts    = flag.Uint64("insts", 400_000, "instructions to simulate")
+		ist      = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
+		rs       = flag.Int("rs", 96, "reservation station entries")
+		rob      = flag.Int("rob", 224, "reorder buffer entries")
+		cacheDir = flag.String("cache", "", "persist/reuse results in this directory")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		verbose  = flag.Bool("v", false, "print per-load profiles of the hottest loads")
 	)
 	flag.Parse()
 
@@ -40,44 +51,55 @@ func main() {
 		for _, w := range workload.All() {
 			fmt.Printf("%-14s %s\n", w.Name, w.Pathology)
 		}
-		return
+		return 0
 	}
 
-	w := workload.ByName(*name)
-	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; -list to enumerate\n", *name)
-		os.Exit(1)
-	}
-
-	cfg := sim.DefaultConfig().WithWindow(*rs, *rob)
-	cfg.Core.MaxInsts = *insts
-
-	var res *core.Result
+	spec := sim.RunSpec{Workload: *name, Input: sim.InputRef, Insts: *insts, RS: *rs, ROB: *rob}
 	switch *sched {
 	case "ooo":
-		res = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
+		spec.Sched = sim.SchedOOO
 	case "random":
-		res = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedRandom))
+		spec.Sched = sim.SchedRandom
 	case "perfect-bp":
-		c := cfg.WithSched(core.SchedOldestFirst)
-		c.Core.PerfectBP = true
-		res = sim.Run(w.Build(workload.Ref), c)
+		spec.Sched = sim.SchedOOO
+		spec.PerfectBP = true
 	case "ibda":
-		c := cfg.WithSched(core.SchedCRISP)
-		c.IBDA = &ibda.Config{ISTEntries: *ist, ISTWays: 4, DLTEntries: 32}
-		res = sim.Run(w.Build(workload.Ref), c)
+		spec = spec.WithIBDA(ibda.Config{ISTEntries: *ist, ISTWays: 4, DLTEntries: 32})
 	case "crisp":
-		pipe := sim.AnalyzeTrain(w.Build(workload.Train), w.Build(workload.Train), cfg, crisp.DefaultOptions())
-		fmt.Printf("pipeline: %d delinquent loads, %d hard branches, %d critical PCs (%.1f%% dynamic)\n",
-			len(pipe.Analysis.DelinquentLoads), len(pipe.Analysis.HardBranches),
-			len(pipe.Analysis.CriticalPCs), pipe.Analysis.DynCriticalFraction*100)
-		res = sim.Run(pipe.Tagged(w.Build(workload.Ref)), cfg.WithSched(core.SchedCRISP))
+		spec = spec.WithCrisp(crisp.DefaultOptions())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
-		os.Exit(1)
+		return 1
 	}
 
-	fmt.Println(sim.Describe(w.Name+"/"+*sched, res))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crispsim:", err)
+		return 1
+	}
+
+	if spec.Crisp != nil {
+		// Resolve (or load) the software pipeline first so its summary
+		// prints before the timing run, as the two-phase flow runs it.
+		a, err := r.Analysis(ctx, runner.AnalysisSpec{Workload: *name, Insts: *insts, Opts: *spec.Crisp})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crispsim:", err)
+			return 1
+		}
+		fmt.Printf("pipeline: %d delinquent loads, %d hard branches, %d critical PCs (%.1f%% dynamic)\n",
+			len(a.DelinquentLoads), len(a.HardBranches),
+			len(a.CriticalPCs), a.DynCriticalFraction*100)
+	}
+
+	res, err := r.Run(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crispsim:", err)
+		return 1
+	}
+
+	fmt.Println(sim.Describe(*name+"/"+*sched, res))
 	fmt.Printf("ROB head stalls %d (%.1f%% of cycles), fetch stalls %d, DRAM reads %d (avg %.0f cyc)\n",
 		res.ROBHeadStalls, float64(res.ROBHeadStalls)/float64(res.Cycles)*100,
 		res.FetchStallCycle, res.DRAMReads, res.DRAMAvgLat)
@@ -105,4 +127,5 @@ func main() {
 				l.pc, l.lp.Count, l.lp.LLCMiss, l.lp.LLCMissRatio(), l.lp.AMAT(), l.lp.AvgMLP(), l.lp.HeadStall)
 		}
 	}
+	return 0
 }

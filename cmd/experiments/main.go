@@ -2,9 +2,18 @@
 // simulated system. Each figure prints an aligned text table (use -csv for
 // machine-readable output).
 //
+// Every requested figure's simulations are submitted to one shared
+// worker pool up front: identical runs (the OOO baselines and train
+// profiles that Figures 7, 8, 10, 12 and the prefetcher study share) are
+// executed once, and -j bounds the parallelism. With -cache, results are
+// persisted as JSON keyed by spec hash + code version, so an interrupted
+// sweep (Ctrl-C, -timeout) resumes where it stopped and a repeated
+// invocation completes from cache in seconds.
+//
 // Usage:
 //
 //	experiments -all                 # every table and figure
+//	experiments -all -j 8 -cache .crisp-cache
 //	experiments -fig 7               # one figure
 //	experiments -fig 9 -insts 1e6    # bigger instruction budget
 //	experiments -fig 7 -only mcf,lbm # subset of the suite
@@ -12,19 +21,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"crisp/internal/harness"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
 )
 
 func main() {
+	// Exit via a named function so deferred cleanups (profile flushes,
+	// progress-line teardown) run; os.Exit in the flag-error paths used
+	// to skip them and truncate CPU profiles.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf")
 		table      = flag.String("table", "", "table to run: 1")
@@ -32,6 +51,10 @@ func main() {
 		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
 		only       = flag.String("only", "", "comma-separated workload subset")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jobs       = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		cacheDir   = flag.String("cache", "", "persist results in this directory and reuse them across runs")
+		timeout    = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		progress   = flag.Bool("progress", true, "print a progress line to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -39,19 +62,28 @@ func main() {
 
 	if !*all && *fig == "" && *table == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	var onlyNames []string
+	if *only != "" {
+		onlyNames = strings.Split(*only, ",")
+		if err := runner.ValidateWorkloads(onlyNames); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -70,12 +102,82 @@ func main() {
 		}()
 	}
 
-	lab := harness.NewLab(*insts)
-	if *only != "" {
-		lab.Only = strings.Split(*only, ",")
+	// Ctrl-C cancels the sweep mid-simulation; with -cache the completed
+	// runs are already persisted and the next invocation resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	emit := func(t *harness.Table) {
+	r, err := runner.New(ctx, runner.Options{Workers: *jobs, CacheDir: *cacheDir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	lab := harness.NewLabWithRunner(*insts, r)
+	lab.Only = onlyNames
+
+	wantFig := func(name string) bool { return *all || *fig == name }
+
+	// Phase 1: generate. Each figure submits its whole spec set to the
+	// shared pool; nothing is waited on yet, so -all saturates the pool
+	// across figure boundaries instead of running one figure at a time.
+	type pendingFigure struct {
+		p     *harness.Pending
+		start time.Time
+	}
+	var figures []pendingFigure
+	for _, f := range []struct {
+		name  string
+		build func() *harness.Pending
+	}{
+		{"1", func() *harness.Pending { return lab.Figure1Skip(200, 60, 400) }},
+		{"3.1", lab.Section31},
+		{"4", lab.Figure4},
+		{"7", lab.Figure7},
+		{"8", lab.Figure8},
+		{"9", lab.Figure9},
+		{"10", lab.Figure10},
+		{"11", lab.Figure11},
+		{"12", lab.Figure12},
+		{"pf", lab.PrefetcherSensitivity},
+	} {
+		if wantFig(f.name) {
+			figures = append(figures, pendingFigure{p: f.build(), start: time.Now()})
+		}
+	}
+
+	stopProgress := func() {}
+	if *progress && len(figures) > 0 {
+		stopProgress = startProgress(r)
+	}
+	defer stopProgress()
+
+	if *all || *table == "1" {
+		fmt.Print(lab.Table1())
+		fmt.Println()
+	}
+
+	// Phase 2: resolve and print in presentation order.
+	for _, pf := range figures {
+		t, err := pf.p.Table(ctx)
+		if err != nil {
+			stopProgress()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			if ctx.Err() != nil && *cacheDir != "" {
+				fmt.Fprintf(os.Stderr, "experiments: completed runs are cached in %s; re-run to resume\n", *cacheDir)
+			}
+			return 1
+		}
+		if !*csv {
+			t.Notes = append(t.Notes, fmt.Sprintf("elapsed %.1fs at %d insts/run", time.Since(pf.start).Seconds(), *insts))
+			if n := harness.HostThroughputNote(); n != "" {
+				t.Notes = append(t.Notes, n)
+			}
+		}
 		if *csv {
 			fmt.Print(t.CSV())
 		} else {
@@ -83,58 +185,46 @@ func main() {
 		}
 		fmt.Println()
 	}
-
-	run := func(f func() *harness.Table) {
-		start := time.Now()
-		t := f()
-		if !*csv {
-			t.Notes = append(t.Notes, fmt.Sprintf("elapsed %.1fs at %d insts/run", time.Since(start).Seconds(), *insts))
-			if n := harness.HostThroughputNote(); n != "" {
-				t.Notes = append(t.Notes, n)
-			}
-		}
-		emit(t)
-	}
-
-	wantFig := func(name string) bool { return *all || *fig == name }
-
-	if *all || *table == "1" {
-		fmt.Print(lab.Table1())
-		fmt.Println()
-	}
-	if wantFig("1") {
-		run(func() *harness.Table { return lab.Figure1Skip(200, 60, 400) })
-	}
-	if wantFig("3.1") {
-		run(lab.Section31)
-	}
-	if wantFig("4") {
-		run(lab.Figure4)
-	}
-	if wantFig("7") {
-		run(lab.Figure7)
-	}
-	if wantFig("8") {
-		run(lab.Figure8)
-	}
-	if wantFig("9") {
-		run(lab.Figure9)
-	}
-	if wantFig("10") {
-		run(lab.Figure10)
-	}
-	if wantFig("11") {
-		run(lab.Figure11)
-	}
-	if wantFig("12") {
-		run(lab.Figure12)
-	}
-	if wantFig("pf") {
-		run(lab.PrefetcherSensitivity)
-	}
+	stopProgress()
 
 	if simInsts, simNS := sim.HostTotals(); simNS > 0 && !*csv {
 		fmt.Printf("# host throughput: %.2f simulated MIPS (%d insts in %.1fs of core.Run)\n",
 			float64(simInsts)*1e3/float64(simNS), simInsts, float64(simNS)/1e9)
+	}
+	if s := r.Stats(); s.DiskHits > 0 && !*csv {
+		fmt.Printf("# cache: %d results loaded from %s, %d simulations executed\n",
+			s.DiskHits, *cacheDir, s.Executed)
+	}
+	return 0
+}
+
+// startProgress prints a live "done/started" job counter to stderr until
+// the returned stop function is called.
+func startProgress(r *runner.Runner) func() {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r%60s\r", "")
+				return
+			case <-tick.C:
+				s := r.Stats()
+				fmt.Fprintf(os.Stderr, "\r%d/%d jobs done (%d simulated, %d from cache)   ",
+					s.Done, s.Started, s.Executed, s.DiskHits)
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+			<-finished
+		}
 	}
 }

@@ -15,7 +15,9 @@ import (
 
 func main() {
 	lab := harness.NewLab(250_000)
-	tab := lab.Figure1Skip(200, 48, 400)
+	// The baseline and CRISP timelines are submitted together and
+	// simulate in parallel; MustTable waits for both.
+	tab := lab.Figure1Skip(200, 48, 400).MustTable()
 
 	fmt.Println(tab.Title)
 	fmt.Println(strings.Repeat("-", 64))

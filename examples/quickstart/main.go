@@ -2,14 +2,19 @@
 // train input, extract and tag critical slices, then compare the baseline
 // OOO scheduler against the CRISP scheduler on the ref input.
 //
+// Runs are described declaratively as sim.RunSpecs and executed by the
+// runner, which simulates both schedulers concurrently and shares the
+// train profile between the software pipeline and the tagged run.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"crisp/internal/core"
 	"crisp/internal/crisp"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
 	"crisp/internal/workload"
 )
@@ -18,24 +23,43 @@ func main() {
 	w := workload.ByName("mcf")
 	fmt.Printf("workload: %s\n  %s\n\n", w.Name, w.Pathology)
 
-	cfg := sim.DefaultConfig() // the paper's Table 1 system
-	cfg.Core.MaxInsts = 300_000
+	ctx := context.Background()
+	r, err := runner.New(ctx, runner.Options{})
+	if err != nil {
+		panic(err)
+	}
 
-	// Step 1+2 (Figure 5): profile and trace the train input, then run the
-	// software pipeline — delinquent-load classification, slice extraction
-	// with memory dependencies, critical-path filtering, tagging.
-	pipe := sim.AnalyzeTrain(w.Build(workload.Train), w.Build(workload.Train),
-		cfg, crisp.DefaultOptions())
-	a := pipe.Analysis
+	const insts = 300_000
+	// Two declarative specs: the Table 1 OOO baseline, and the same
+	// machine running the program tagged by the software pipeline
+	// (Figure 5: profile -> slice -> tag) under the CRISP scheduler.
+	baseSpec := sim.RunSpec{Workload: w.Name, Insts: insts}
+	crispSpec := baseSpec.WithCrisp(crisp.DefaultOptions())
+
+	// Submit both; they simulate concurrently on the pool.
+	baseH := r.Submit(baseSpec)
+	crispH := r.Submit(crispSpec)
+
+	// The pipeline summary (steps 1+2): the CRISP run above resolves the
+	// same memoized analysis, so this costs nothing extra.
+	a, err := r.Analysis(ctx, runner.AnalysisSpec{Workload: w.Name, Insts: insts, Opts: crisp.DefaultOptions()})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("software pipeline: %d delinquent loads, %d hard branches\n",
 		len(a.DelinquentLoads), len(a.HardBranches))
 	fmt.Printf("tagged %d static instructions (%.1f%% of dynamic stream)\n\n",
 		len(a.CriticalPCs), a.DynCriticalFraction*100)
 
 	// Step 3: evaluate on the ref input.
-	base := sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
-	tagged := pipe.Tagged(w.Build(workload.Ref))
-	cr := sim.Run(tagged, cfg.WithSched(core.SchedCRISP))
+	base, err := baseH.Result(ctx)
+	if err != nil {
+		panic(err)
+	}
+	cr, err := crispH.Result(ctx)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println(sim.Describe("ooo", base))
 	fmt.Println(sim.Describe("crisp", cr))

@@ -3,18 +3,24 @@
 // application and report how the best setting differs across workloads —
 // the kind of application-specific tuning a hardware mechanism cannot do.
 //
+// The whole sweep — every workload × every threshold, plus the shared
+// baselines — is submitted to the runner up front and simulates in
+// parallel; the rows below just wait on resolved results.
+//
 //	go run ./examples/threshold
 //	go run ./examples/threshold -workloads mcf,lbm,moses
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"crisp/internal/crisp"
-	"crisp/internal/harness"
-	"crisp/internal/workload"
+	"crisp/internal/runner"
+	"crisp/internal/sim"
 )
 
 func main() {
@@ -22,8 +28,29 @@ func main() {
 	insts := flag.Uint64("insts", 300_000, "instructions per run")
 	flag.Parse()
 
-	lab := harness.NewLab(*insts)
+	ctx := context.Background()
+	r, err := runner.New(ctx, runner.Options{})
+	if err != nil {
+		panic(err)
+	}
 	thresholds := []float64{0.05, 0.02, 0.01, 0.005, 0.002}
+
+	// Submit everything before waiting on anything.
+	type sweep struct {
+		name string
+		base *runner.RunHandle
+		runs []*runner.RunHandle
+	}
+	var sweeps []sweep
+	for _, name := range strings.Split(*names, ",") {
+		s := sweep{name: name, base: r.Submit(sim.RunSpec{Workload: name, Insts: *insts})}
+		for _, T := range thresholds {
+			opts := crisp.DefaultOptions()
+			opts.MissShareThreshold = T
+			s.runs = append(s.runs, r.Submit(sim.RunSpec{Workload: name, Insts: *insts}.WithCrisp(opts)))
+		}
+		sweeps = append(sweeps, s)
+	}
 
 	fmt.Printf("%-12s", "workload")
 	for _, T := range thresholds {
@@ -31,23 +58,24 @@ func main() {
 	}
 	fmt.Printf(" %10s\n", "best")
 
-	for _, name := range strings.Split(*names, ",") {
-		w := workload.ByName(name)
-		if w == nil {
-			fmt.Printf("%-12s unknown workload\n", name)
-			continue
+	for _, s := range sweeps {
+		base, err := s.base.Result(ctx)
+		if err != nil {
+			fmt.Printf("%-12s %v\n", s.name, err)
+			os.Exit(1)
 		}
-		base := lab.Baseline(w, lab.Cfg, "default")
-		fmt.Printf("%-12s", name)
+		fmt.Printf("%-12s", s.name)
 		best, bestGain := 0.0, -100.0
-		for _, T := range thresholds {
-			opts := crisp.DefaultOptions()
-			opts.MissShareThreshold = T
-			cr := lab.RunCRISP(w, lab.Analyze(w, opts), lab.Cfg)
+		for i, h := range s.runs {
+			cr, err := h.Result(ctx)
+			if err != nil {
+				fmt.Printf(" %v\n", err)
+				os.Exit(1)
+			}
 			g := (cr.IPC()/base.IPC() - 1) * 100
 			fmt.Printf(" %+7.2f%%", g)
 			if g > bestGain {
-				best, bestGain = T, g
+				best, bestGain = thresholds[i], g
 			}
 		}
 		fmt.Printf("   T=%.1f%%\n", best*100)

@@ -98,8 +98,9 @@ type Core struct {
 	waiterNext              []int32 // per chain node (slot*3 + dep index)
 	wakeups                 wakeupHeap
 
-	cycle uint64
-	stats Result
+	cycle       uint64
+	stats       Result
+	cancelCheck func() bool
 
 	upcAccum   uint64
 	lastRetire uint64
@@ -176,6 +177,11 @@ func (c *Core) nextRand() uint64 {
 	return c.rng
 }
 
+// SetCancelCheck installs a callback polled every few thousand simulated
+// cycles during Run; when it returns true the simulation stops early and
+// Run returns the partial statistics. It must be set before Run.
+func (c *Core) SetCancelCheck(f func() bool) { c.cancelCheck = f }
+
 // Run simulates to completion and returns the results.
 func (c *Core) Run() *Result {
 	var ms runtime.MemStats
@@ -183,6 +189,9 @@ func (c *Core) Run() *Result {
 	startAllocs := ms.Mallocs
 	start := time.Now()
 	for !c.finished() {
+		if c.cancelCheck != nil && c.cycle&0xfff == 0 && c.cancelCheck() {
+			break
+		}
 		c.commit()
 		c.issue()
 		c.dispatch()

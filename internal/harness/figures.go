@@ -1,116 +1,151 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
-	"crisp/internal/core"
 	"crisp/internal/crisp"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
-	"crisp/internal/workload"
 )
 
 // Figure1 reproduces the UPC-over-time microbenchmark comparison: µops
 // retired per cycle in fixed windows for OOO and CRISP on the
 // pointer-chase kernel. Columns: window index, OOO UPC, CRISP UPC.
-func (l *Lab) Figure1(window int, windows int) *Table {
+func (l *Lab) Figure1(window int, windows int) *Pending {
 	return l.Figure1Skip(window, windows, 0)
 }
 
 // Figure1Skip is Figure1 with the first `skip` windows (cache and
 // predictor warmup) omitted.
-func (l *Lab) Figure1Skip(window, windows, skip int) *Table {
-	w := workload.ByName("pointerchase")
-	cfg := l.Cfg
-	cfg.Core.UPCWindow = window
+func (l *Lab) Figure1Skip(window, windows, skip int) *Pending {
+	baseSpec := l.refSpec("pointerchase")
+	baseSpec.UPCWindow = window
+	crSpec := baseSpec.WithCrisp(crisp.DefaultOptions())
+	baseH := l.R.Submit(baseSpec)
+	crH := l.R.Submit(crSpec)
 
-	a := l.Analyze(w, crisp.DefaultOptions())
-
-	base := sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
-	img := w.Build(workload.Ref)
-	img.Prog = a.Apply(img.Prog)
-	cr := sim.Run(img, cfg.WithSched(core.SchedCRISP))
-
-	t := &Table{
-		Title:   fmt.Sprintf("Figure 1: UPC per %d-cycle window, pointer-chase µbench", window),
-		Columns: []string{"window", "ooo_upc", "crisp_upc"},
-	}
-	n := min(len(base.UPCWindows), len(cr.UPCWindows))
-	if skip >= n {
-		skip = 0
-	}
-	if windows > 0 && n > skip+windows {
-		n = skip + windows
-	}
-	for i := skip; i < n; i++ {
-		t.Rows = append(t.Rows, Row{
-			Label: fmt.Sprintf("w%03d", i),
-			Cells: []float64{base.UPCWindows[i], cr.UPCWindows[i]},
-		})
-	}
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("mean UPC: OOO %.3f CRISP %.3f (+%.1f%%)", base.IPC(), cr.IPC(), gain(cr, base)))
-	return t
+	return &Pending{resolve: func(ctx context.Context) (*Table, error) {
+		base, err := baseH.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := crH.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 1: UPC per %d-cycle window, pointer-chase µbench", window),
+			Columns: []string{"window", "ooo_upc", "crisp_upc"},
+		}
+		n := min(len(base.UPCWindows), len(cr.UPCWindows))
+		if skip >= n {
+			skip = 0
+		}
+		if windows > 0 && n > skip+windows {
+			n = skip + windows
+		}
+		for i := skip; i < n; i++ {
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("w%03d", i),
+				Cells: []float64{base.UPCWindows[i], cr.UPCWindows[i]},
+			})
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("mean UPC: OOO %.3f CRISP %.3f (+%.1f%%)", base.IPC(), cr.IPC(), gain(cr, base)))
+		return t, nil
+	}}
 }
 
 // Figure4 reports the average dynamic load-slice size per application
 // (pre-filter), extracted by the software slicer.
-func (l *Lab) Figure4() *Table {
+func (l *Lab) Figure4() *Pending {
 	t := &Table{
 		Title:   "Figure 4: average load slice size (dynamic instructions)",
 		Columns: []string{"app", "avg_slice"},
 	}
 	opts := crisp.DefaultOptions()
 	opts.FilterCriticalPath = false
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		a := l.Analyze(w, opts)
-		return Row{Label: w.Name, Cells: []float64{a.AvgLoadSliceDynLen}}
-	})
-	return t
+	var rows []rowSource
+	for _, name := range l.suite() {
+		h := l.R.SubmitAnalysis(l.analysisSpec(name, opts))
+		rows = append(rows, rowSource{name, func(ctx context.Context) ([]float64, error) {
+			a, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{a.AvgLoadSliceDynLen}, nil
+		}})
+	}
+	return pending(t, rows, nil)
 }
 
 // Figure7 compares CRISP and IBDA (1K/8K/64K/infinite IST) IPC gains over
 // the OOO baseline, in percent.
-func (l *Lab) Figure7() *Table {
+func (l *Lab) Figure7() *Pending {
 	t := &Table{
 		Title:   "Figure 7: IPC improvement over OOO baseline (%)",
 		Columns: []string{"app", "crisp", "ibda_1k", "ibda_8k", "ibda_64k", "ibda_inf"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		base := l.Baseline(w, l.Cfg, "default")
-		a := l.Analyze(w, crisp.DefaultOptions())
-		cr := l.RunCRISP(w, a, l.Cfg)
-		i1 := l.RunIBDA(w, 1024, 4, l.Cfg)
-		i8 := l.RunIBDA(w, 8192, 8, l.Cfg)
-		i64 := l.RunIBDA(w, 65536, 16, l.Cfg)
-		iInf := l.RunIBDA(w, 0, 0, l.Cfg)
-		return Row{Label: w.Name, Cells: []float64{
-			gain(cr, base), gain(i1, base), gain(i8, base), gain(i64, base), gain(iInf, base),
-		}}
+	var rows []rowSource
+	for _, name := range l.suite() {
+		base := l.R.Submit(l.refSpec(name))
+		runs := []*runner.RunHandle{
+			l.R.Submit(l.crispSpec(name, crisp.DefaultOptions())),
+			l.R.Submit(l.ibdaSpec(name, 1024, 4)),
+			l.R.Submit(l.ibdaSpec(name, 8192, 8)),
+			l.R.Submit(l.ibdaSpec(name, 65536, 16)),
+			l.R.Submit(l.ibdaSpec(name, 0, 0)),
+		}
+		rows = append(rows, rowSource{name, gainCells(base, runs)})
+	}
+	return pending(t, rows, func(t *Table) {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("geomean: crisp %+.2f%%, ibda_1k %+.2f%%", t.GeoMeanGain(0), t.GeoMeanGain(1)))
 	})
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("geomean: crisp %+.2f%%, ibda_1k %+.2f%%", t.GeoMeanGain(0), t.GeoMeanGain(1)))
-	return t
+}
+
+// gainCells resolves a row of IPC gains of runs over base, in percent.
+func gainCells(base *runner.RunHandle, runs []*runner.RunHandle) func(ctx context.Context) ([]float64, error) {
+	return func(ctx context.Context) ([]float64, error) {
+		b, err := base.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]float64, len(runs))
+		for i, h := range runs {
+			r, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = gain(r, b)
+		}
+		return cells, nil
+	}
 }
 
 // Figure8 isolates load slices, branch slices, and their combination.
-func (l *Lab) Figure8() *Table {
+func (l *Lab) Figure8() *Pending {
 	t := &Table{
 		Title:   "Figure 8: slice-kind contribution, IPC gain over OOO (%)",
 		Columns: []string{"app", "load_only", "branch_only", "combined"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		base := l.Baseline(w, l.Cfg, "default")
-		lo := crisp.DefaultOptions()
-		lo.BranchSlices = false
-		bo := crisp.DefaultOptions()
-		bo.LoadSlices = false
-		both := crisp.DefaultOptions()
-		rl := l.RunCRISP(w, l.Analyze(w, lo), l.Cfg)
-		rb := l.RunCRISP(w, l.Analyze(w, bo), l.Cfg)
-		rc := l.RunCRISP(w, l.Analyze(w, both), l.Cfg)
-		return Row{Label: w.Name, Cells: []float64{gain(rl, base), gain(rb, base), gain(rc, base)}}
-	})
-	return t
+	lo := crisp.DefaultOptions()
+	lo.BranchSlices = false
+	bo := crisp.DefaultOptions()
+	bo.LoadSlices = false
+	both := crisp.DefaultOptions()
+	var rows []rowSource
+	for _, name := range l.suite() {
+		base := l.R.Submit(l.refSpec(name))
+		runs := []*runner.RunHandle{
+			l.R.Submit(l.crispSpec(name, lo)),
+			l.R.Submit(l.crispSpec(name, bo)),
+			l.R.Submit(l.crispSpec(name, both)),
+		}
+		rows = append(rows, rowSource{name, gainCells(base, runs)})
+	}
+	return pending(t, rows, nil)
 }
 
 // windowConfigs are the Figure 9 RS/ROB sweep points (Skylake-like 96/224
@@ -125,8 +160,10 @@ var windowConfigs = []struct {
 	{"192rs_448rob", 192, 448},
 }
 
-// Figure9 sweeps reservation-station and ROB sizes.
-func (l *Lab) Figure9() *Table {
+// Figure9 sweeps reservation-station and ROB sizes. The CRISP analysis
+// is shared across window points (the software pipeline profiles on the
+// default window, as in Section 5.4).
+func (l *Lab) Figure9() *Pending {
 	t := &Table{
 		Title:   "Figure 9: CRISP IPC gain (%) vs RS/ROB size",
 		Columns: []string{"app"},
@@ -134,84 +171,121 @@ func (l *Lab) Figure9() *Table {
 	for _, wc := range windowConfigs {
 		t.Columns = append(t.Columns, wc.Name)
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		a := l.Analyze(w, crisp.DefaultOptions())
-		row := Row{Label: w.Name}
+	var rows []rowSource
+	for _, name := range l.suite() {
+		var bases, runs []*runner.RunHandle
 		for _, wc := range windowConfigs {
-			cfg := l.Cfg.WithWindow(wc.RS, wc.ROB)
-			base := l.Baseline(w, cfg, wc.Name)
-			cr := l.RunCRISP(w, a, cfg)
-			row.Cells = append(row.Cells, gain(cr, base))
+			bs := l.refSpec(name)
+			bs.RS, bs.ROB = wc.RS, wc.ROB
+			bases = append(bases, l.R.Submit(bs))
+			cs := l.crispSpec(name, crisp.DefaultOptions())
+			cs.RS, cs.ROB = wc.RS, wc.ROB
+			runs = append(runs, l.R.Submit(cs))
 		}
-		return row
-	})
-	return t
+		rows = append(rows, rowSource{name, pairedGainCells(bases, runs)})
+	}
+	return pending(t, rows, nil)
+}
+
+// pairedGainCells resolves a row where each cell has its own baseline.
+func pairedGainCells(bases, runs []*runner.RunHandle) func(ctx context.Context) ([]float64, error) {
+	return func(ctx context.Context) ([]float64, error) {
+		cells := make([]float64, len(runs))
+		for i := range runs {
+			b, err := bases[i].Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			r, err := runs[i].Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = gain(r, b)
+		}
+		return cells, nil
+	}
 }
 
 // Figure10 sweeps the miss-share criticality threshold T (Section 5.5).
-func (l *Lab) Figure10() *Table {
+func (l *Lab) Figure10() *Pending {
 	ts := []float64{0.05, 0.01, 0.002}
 	t := &Table{
 		Title:   "Figure 10: CRISP IPC gain (%) vs miss-share threshold T",
 		Columns: []string{"app", "T=5%", "T=1%", "T=0.2%"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		base := l.Baseline(w, l.Cfg, "default")
-		row := Row{Label: w.Name}
+	var rows []rowSource
+	for _, name := range l.suite() {
+		base := l.R.Submit(l.refSpec(name))
+		var runs []*runner.RunHandle
 		for _, thr := range ts {
 			opts := crisp.DefaultOptions()
 			opts.MissShareThreshold = thr
-			cr := l.RunCRISP(w, l.Analyze(w, opts), l.Cfg)
-			row.Cells = append(row.Cells, gain(cr, base))
+			runs = append(runs, l.R.Submit(l.crispSpec(name, opts)))
 		}
-		return row
-	})
-	for i := range ts {
-		t.Notes = append(t.Notes, fmt.Sprintf("geomean %s: %+.2f%%", t.Columns[i+1], t.GeoMeanGain(i)))
+		rows = append(rows, rowSource{name, gainCells(base, runs)})
 	}
-	return t
+	return pending(t, rows, func(t *Table) {
+		for i := range ts {
+			t.Notes = append(t.Notes, fmt.Sprintf("geomean %s: %+.2f%%", t.Columns[i+1], t.GeoMeanGain(i)))
+		}
+	})
 }
 
 // Figure11 reports the number of unique critical (tagged) static
 // instructions per application.
-func (l *Lab) Figure11() *Table {
+func (l *Lab) Figure11() *Pending {
 	t := &Table{
 		Title:   "Figure 11: unique critical instructions",
 		Columns: []string{"app", "critical_pcs", "dyn_fraction"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		a := l.Analyze(w, crisp.DefaultOptions())
-		return Row{Label: w.Name, Cells: []float64{
-			float64(len(a.CriticalPCs)), a.DynCriticalFraction,
-		}}
-	})
-	return t
+	var rows []rowSource
+	for _, name := range l.suite() {
+		h := l.R.SubmitAnalysis(l.analysisSpec(name, crisp.DefaultOptions()))
+		rows = append(rows, rowSource{name, func(ctx context.Context) ([]float64, error) {
+			a, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(len(a.CriticalPCs)), a.DynCriticalFraction}, nil
+		}})
+	}
+	return pending(t, rows, nil)
 }
 
 // Figure12 reports the prefix footprint overheads: static and dynamic code
 // size increase (%) and the instruction-cache MPKI delta (%) between
 // untagged and tagged CRISP runs.
-func (l *Lab) Figure12() *Table {
+func (l *Lab) Figure12() *Pending {
 	t := &Table{
 		Title:   "Figure 12: critical-prefix footprint overhead",
 		Columns: []string{"app", "static_pct", "dynamic_pct", "icache_mpki_pct"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		a := l.Analyze(w, crisp.DefaultOptions())
-		_, tr := l.train(w)
-		fp := crisp.MeasureFootprint(w.Build(workload.Train).Prog, tr, a.CriticalPCs)
-
-		base := l.Baseline(w, l.Cfg, "default")
-		cr := l.RunCRISP(w, a, l.Cfg)
-		dMPKI := 0.0
-		if base.L1IMPKI() > 0 {
-			dMPKI = (cr.L1IMPKI()/base.L1IMPKI() - 1) * 100
-		}
-		return Row{Label: w.Name, Cells: []float64{
-			fp.StaticOverhead() * 100, fp.DynOverhead() * 100, dMPKI,
-		}}
-	})
-	return t
+	var rows []rowSource
+	for _, name := range l.suite() {
+		fpH := l.R.SubmitFootprint(l.analysisSpec(name, crisp.DefaultOptions()))
+		baseH := l.R.Submit(l.refSpec(name))
+		crH := l.R.Submit(l.crispSpec(name, crisp.DefaultOptions()))
+		rows = append(rows, rowSource{name, func(ctx context.Context) ([]float64, error) {
+			fp, err := fpH.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			base, err := baseH.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cr, err := crH.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			dMPKI := 0.0
+			if base.L1IMPKI() > 0 {
+				dMPKI = (cr.L1IMPKI()/base.L1IMPKI() - 1) * 100
+			}
+			return []float64{fp.StaticOverhead() * 100, fp.DynOverhead() * 100, dMPKI}, nil
+		}})
+	}
+	return pending(t, rows, nil)
 }
 
 // Table1 renders the simulated system configuration.
@@ -250,20 +324,27 @@ Memory                         DDR4-2400-like, 1 channel, %d banks
 // pointer-chase kernel's IPC under the baseline against the same kernel
 // with its critical slice hoisted (our CRISP run stands in for the manual
 // prefetch insertion).
-func (l *Lab) Section31() *Table {
-	w := workload.ByName("pointerchase")
-	base := l.Baseline(w, l.Cfg, "default")
-	a := l.Analyze(w, crisp.DefaultOptions())
-	cr := l.RunCRISP(w, a, l.Cfg)
-	t := &Table{
-		Title:   "Section 3.1: pointer-chase kernel, baseline vs hoisted slice",
-		Columns: []string{"config", "ipc"},
-		Rows: []Row{
-			{Label: "baseline", Cells: []float64{base.IPC()}},
-			{Label: "hoisted", Cells: []float64{cr.IPC()}},
-		},
-	}
-	return t
+func (l *Lab) Section31() *Pending {
+	baseH := l.R.Submit(l.refSpec("pointerchase"))
+	crH := l.R.Submit(l.crispSpec("pointerchase", crisp.DefaultOptions()))
+	return &Pending{resolve: func(ctx context.Context) (*Table, error) {
+		base, err := baseH.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := crH.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Table{
+			Title:   "Section 3.1: pointer-chase kernel, baseline vs hoisted slice",
+			Columns: []string{"config", "ipc"},
+			Rows: []Row{
+				{Label: "baseline", Cells: []float64{base.IPC()}},
+				{Label: "hoisted", Cells: []float64{cr.IPC()}},
+			},
+		}, nil
+	}}
 }
 
 func min(a, b int) int {
@@ -276,23 +357,24 @@ func min(a, b int) int {
 // PrefetcherSensitivity reproduces the Section 5.1 observation that
 // CRISP's improvement is similar regardless of the baseline data
 // prefetcher (the paper reports BOP, plain stride, and GHB baselines).
-func (l *Lab) PrefetcherSensitivity() *Table {
+func (l *Lab) PrefetcherSensitivity() *Pending {
 	kinds := []sim.PrefetcherKind{sim.PFBOPStream, sim.PFStride, sim.PFGHB, sim.PFNone}
 	t := &Table{
 		Title:   "Section 5.1: CRISP IPC gain (%) vs baseline prefetcher",
 		Columns: []string{"app", "bop+stream", "stride", "ghb", "none"},
 	}
-	t.Rows = l.forEach(l.suite(), func(w *workload.Workload) Row {
-		a := l.Analyze(w, crisp.DefaultOptions())
-		row := Row{Label: w.Name}
+	var rows []rowSource
+	for _, name := range l.suite() {
+		var bases, runs []*runner.RunHandle
 		for _, k := range kinds {
-			cfg := l.Cfg
-			cfg.Prefetcher = k
-			base := l.Baseline(w, cfg, "pf_"+k.String())
-			cr := l.RunCRISP(w, a, cfg)
-			row.Cells = append(row.Cells, gain(cr, base))
+			bs := l.refSpec(name)
+			bs.Prefetcher = k
+			bases = append(bases, l.R.Submit(bs))
+			cs := l.crispSpec(name, crisp.DefaultOptions())
+			cs.Prefetcher = k
+			runs = append(runs, l.R.Submit(cs))
 		}
-		return row
-	})
-	return t
+		rows = append(rows, rowSource{name, pairedGainCells(bases, runs)})
+	}
+	return pending(t, rows, nil)
 }

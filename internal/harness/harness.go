@@ -1,21 +1,23 @@
-// Package harness drives the paper's experiments: one driver per table and
-// figure of the evaluation (Section 5), producing aligned-text and CSV
-// tables. The Lab caches profiling runs, traces, and baselines so that
-// figures sharing inputs do not recompute them.
+// Package harness drives the paper's experiments: one driver per table
+// and figure of the evaluation (Section 5), producing aligned-text and
+// CSV tables. Figures are spec generators: each builds the flat set of
+// sim.RunSpec / runner.AnalysisSpec jobs behind its rows and submits
+// them to the Lab's shared runner immediately, so every requested
+// figure's work interleaves on one saturated worker pool with duplicate
+// runs (shared OOO baselines, shared train profiles) executed once.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/ibda"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
-	"crisp/internal/trace"
 	"crisp/internal/workload"
 )
 
@@ -88,90 +90,142 @@ func (t *Table) GeoMeanGain(col int) float64 {
 	return (math.Pow(prod, 1/float64(n)) - 1) * 100
 }
 
-// Lab runs and caches simulations for the experiment drivers.
+// Pending is a figure whose simulations have been submitted to the
+// shared runner but not yet resolved. Building several Pendings before
+// resolving any lets all their jobs share the pool; Table then only
+// waits and formats.
+type Pending struct {
+	resolve func(ctx context.Context) (*Table, error)
+}
+
+// Table blocks until every submitted job behind the figure resolves and
+// returns the formatted result. It fails on cancellation, timeout, or an
+// invalid spec (for example an unknown workload name).
+func (p *Pending) Table(ctx context.Context) (*Table, error) { return p.resolve(ctx) }
+
+// MustTable is Table with a background context, panicking on error —
+// for tests and examples where specs are known-good.
+func (p *Pending) MustTable() *Table {
+	t, err := p.Table(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// rowSource is one pending row: a label plus a resolver that waits on
+// the row's submitted jobs and produces its cells.
+type rowSource struct {
+	label string
+	cells func(ctx context.Context) ([]float64, error)
+}
+
+// pending assembles a Pending that resolves rows in order into t and
+// then runs finish (for notes derived from the resolved table).
+func pending(t *Table, rows []rowSource, finish func(*Table)) *Pending {
+	return &Pending{resolve: func(ctx context.Context) (*Table, error) {
+		for _, rs := range rows {
+			cells, err := rs.cells(ctx)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{Label: rs.label, Cells: cells})
+		}
+		if finish != nil {
+			finish(t)
+		}
+		return t, nil
+	}}
+}
+
+// Lab generates experiment specs over one shared runner. All figures
+// built from the same Lab dedupe their runs against each other.
 type Lab struct {
-	Cfg   sim.Config
-	Insts uint64 // instruction budget per timing run
+	Cfg   sim.Config // Table 1 configuration (rendered by Table1)
+	Insts uint64     // instruction budget per timing run
 	// Only, when non-empty, restricts suite figures to these workloads
 	// (used by tests and quick runs).
 	Only []string
-
-	mu        sync.Mutex
-	trainProf map[string]*core.Result
-	trainTr   map[string]*trace.Trace
-	baselines map[string]*core.Result
+	// R is the shared executor.
+	R *runner.Runner
 }
 
 // NewLab returns a Lab over the Table 1 configuration with the given
-// per-run instruction budget.
+// per-run instruction budget and a private in-memory runner.
 func NewLab(insts uint64) *Lab {
+	r, err := runner.New(context.Background(), runner.Options{})
+	if err != nil { // unreachable: no cache dir
+		panic(err)
+	}
+	return NewLabWithRunner(insts, r)
+}
+
+// NewLabWithRunner returns a Lab submitting to an existing runner (the
+// commands use this to share one pool, cache and context across figures).
+func NewLabWithRunner(insts uint64, r *runner.Runner) *Lab {
 	cfg := sim.DefaultConfig()
 	cfg.Core.MaxInsts = insts
-	return &Lab{
-		Cfg:       cfg,
-		Insts:     insts,
-		trainProf: make(map[string]*core.Result),
-		trainTr:   make(map[string]*trace.Trace),
-		baselines: make(map[string]*core.Result),
-	}
+	return &Lab{Cfg: cfg, Insts: insts, R: r}
 }
 
-// train returns the cached profiling run and trace for a workload's train
-// input.
-func (l *Lab) train(w *workload.Workload) (*core.Result, *trace.Trace) {
-	l.mu.Lock()
-	prof, ok := l.trainProf[w.Name]
-	tr := l.trainTr[w.Name]
-	l.mu.Unlock()
-	if ok {
-		return prof, tr
-	}
-	prof = sim.Run(w.Build(workload.Train), l.Cfg.WithSched(core.SchedOldestFirst))
-	tr = sim.CaptureTrace(w.Build(workload.Train), l.Insts)
-	l.mu.Lock()
-	l.trainProf[w.Name] = prof
-	l.trainTr[w.Name] = tr
-	l.mu.Unlock()
-	return prof, tr
+// refSpec is the OOO baseline on the ref input under the Table 1 system.
+func (l *Lab) refSpec(name string) sim.RunSpec {
+	return sim.RunSpec{Workload: name, Input: sim.InputRef, Sched: sim.SchedOOO, Insts: l.Insts}
 }
 
-// Analyze runs the CRISP software pipeline for a workload using cached
-// profile and trace.
+// crispSpec is the tagged CRISP run on the ref input.
+func (l *Lab) crispSpec(name string, opts crisp.Options) sim.RunSpec {
+	return l.refSpec(name).WithCrisp(opts)
+}
+
+// ibdaSpec is the runtime-IBDA run on the ref input.
+func (l *Lab) ibdaSpec(name string, istEntries, istWays int) sim.RunSpec {
+	return l.refSpec(name).WithIBDA(ibda.Config{ISTEntries: istEntries, ISTWays: istWays, DLTEntries: 32})
+}
+
+// analysisSpec is the software pipeline on the train input.
+func (l *Lab) analysisSpec(name string, opts crisp.Options) runner.AnalysisSpec {
+	return runner.AnalysisSpec{Workload: name, Insts: l.Insts, Opts: opts}
+}
+
+// Analyze runs (or joins) the CRISP software pipeline for a workload.
 func (l *Lab) Analyze(w *workload.Workload, opts crisp.Options) *crisp.Analysis {
-	prof, tr := l.train(w)
-	return crisp.Analyze(prof, tr, w.Build(workload.Train).Prog, opts)
+	a, err := l.R.Analysis(context.Background(), l.analysisSpec(w.Name, opts))
+	if err != nil {
+		panic(err) // unreachable for registered workloads on an uncancelled runner
+	}
+	return a
 }
 
-// Baseline returns the cached OOO run on the ref input under cfg key.
-func (l *Lab) Baseline(w *workload.Workload, cfg sim.Config, key string) *core.Result {
-	k := w.Name + "/" + key
-	l.mu.Lock()
-	r, ok := l.baselines[k]
-	l.mu.Unlock()
-	if ok {
-		return r
+// Baseline runs (or joins) the OOO baseline on the ref input. Concurrent
+// callers with the same workload share a single execution (the runner's
+// per-key single flight).
+func (l *Lab) Baseline(w *workload.Workload) *core.Result {
+	r, err := l.R.Run(context.Background(), l.refSpec(w.Name))
+	if err != nil {
+		panic(err)
 	}
-	r = sim.Run(w.Build(workload.Ref), cfg.WithSched(core.SchedOldestFirst))
-	l.mu.Lock()
-	l.baselines[k] = r
-	l.mu.Unlock()
 	return r
 }
 
-// RunCRISP runs the ref input with the analysis's tags under the CRISP
-// scheduler.
-func (l *Lab) RunCRISP(w *workload.Workload, a *crisp.Analysis, cfg sim.Config) *core.Result {
-	img := w.Build(workload.Ref)
-	img.Prog = a.Apply(img.Prog)
-	return sim.Run(img, cfg.WithSched(core.SchedCRISP))
+// RunCRISP runs (or joins) the tagged CRISP configuration on the ref
+// input under the pipeline options.
+func (l *Lab) RunCRISP(w *workload.Workload, opts crisp.Options) *core.Result {
+	r, err := l.R.Run(context.Background(), l.crispSpec(w.Name, opts))
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
-// RunIBDA runs the ref input with runtime IBDA marking under the CRISP
-// scheduler.
-func (l *Lab) RunIBDA(w *workload.Workload, istEntries, istWays int, cfg sim.Config) *core.Result {
-	c := cfg.WithSched(core.SchedCRISP)
-	c.IBDA = &ibda.Config{ISTEntries: istEntries, ISTWays: istWays, DLTEntries: 32}
-	return sim.Run(w.Build(workload.Ref), c)
+// RunIBDA runs (or joins) the runtime-IBDA configuration on the ref
+// input. istEntries <= 0 means an unbounded IST.
+func (l *Lab) RunIBDA(w *workload.Workload, istEntries, istWays int) *core.Result {
+	r, err := l.R.Run(context.Background(), l.ibdaSpec(w.Name, istEntries, istWays))
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // gain returns the IPC improvement of r over base in percent.
@@ -180,6 +234,7 @@ func gain(r, base *core.Result) float64 { return (r.IPC()/base.IPC() - 1) * 100 
 // HostThroughputNote formats the process-cumulative simulator speed
 // (sim.HostTotals) as a table footnote, so every figure records how fast
 // the runs behind it were simulated. It returns "" before any run.
+// Results served from the persistent cache add nothing here.
 func HostThroughputNote() string {
 	insts, ns := sim.HostTotals()
 	if ns == 0 {
@@ -187,26 +242,6 @@ func HostThroughputNote() string {
 	}
 	return fmt.Sprintf("host throughput: %.2f simulated MIPS cumulative (%d insts)",
 		float64(insts)*1e3/float64(ns), insts)
-}
-
-// forEach runs f for every workload in the suite concurrently and
-// collects rows in suite order.
-func (l *Lab) forEach(names []string, f func(w *workload.Workload) Row) []Row {
-	rows := make([]Row, len(names))
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i, name := range names {
-		i, w := i, workload.ByName(name)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rows[i] = f(w)
-		}()
-	}
-	wg.Wait()
-	return rows
 }
 
 // suite returns the workload names a figure should cover.

@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
+	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/workload"
 )
@@ -51,7 +54,7 @@ func TestGeoMeanGain(t *testing.T) {
 
 func TestFigure1Structure(t *testing.T) {
 	l := NewLab(40_000)
-	tab := l.Figure1(500, 20)
+	tab := l.Figure1(500, 20).MustTable()
 	if len(tab.Rows) == 0 || len(tab.Rows) > 20 {
 		t.Fatalf("Figure1 rows = %d", len(tab.Rows))
 	}
@@ -69,7 +72,7 @@ func TestFigure1Structure(t *testing.T) {
 
 func TestFigure7Structure(t *testing.T) {
 	l := testLab()
-	tab := l.Figure7()
+	tab := l.Figure7().MustTable()
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -86,7 +89,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestFigure8SliceToggles(t *testing.T) {
 	l := testLab()
-	tab := l.Figure8()
+	tab := l.Figure8().MustTable()
 	for _, r := range tab.Rows {
 		if len(r.Cells) != 3 {
 			t.Fatalf("row %s cells = %d", r.Label, len(r.Cells))
@@ -97,7 +100,7 @@ func TestFigure8SliceToggles(t *testing.T) {
 func TestFigure9WindowSweep(t *testing.T) {
 	l := NewLab(60_000)
 	l.Only = []string{"xhpcg"}
-	tab := l.Figure9()
+	tab := l.Figure9().MustTable()
 	if len(tab.Rows) != 1 || len(tab.Rows[0].Cells) != len(windowConfigs) {
 		t.Fatalf("unexpected shape: %+v", tab.Rows)
 	}
@@ -105,7 +108,7 @@ func TestFigure9WindowSweep(t *testing.T) {
 
 func TestFigure10ThresholdMonotonicCandidates(t *testing.T) {
 	l := testLab()
-	tab := l.Figure10()
+	tab := l.Figure10().MustTable()
 	if len(tab.Columns) != 4 {
 		t.Fatalf("columns = %v", tab.Columns)
 	}
@@ -113,13 +116,13 @@ func TestFigure10ThresholdMonotonicCandidates(t *testing.T) {
 
 func TestFigure11And12(t *testing.T) {
 	l := testLab()
-	f11 := l.Figure11()
+	f11 := l.Figure11().MustTable()
 	for _, r := range f11.Rows {
 		if r.Cells[0] < 0 || r.Cells[1] < 0 || r.Cells[1] > 1 {
 			t.Errorf("row %s: implausible cells %v", r.Label, r.Cells)
 		}
 	}
-	f12 := l.Figure12()
+	f12 := l.Figure12().MustTable()
 	for _, r := range f12.Rows {
 		if r.Cells[0] < 0 || r.Cells[0] > 10 {
 			t.Errorf("row %s: static overhead %v%% implausible", r.Label, r.Cells[0])
@@ -139,18 +142,39 @@ func TestTable1Render(t *testing.T) {
 	}
 }
 
-func TestLabCaching(t *testing.T) {
+// TestLabSingleFlight pins the fix for the Lab.train/Lab.Baseline
+// duplicate-work race: concurrent cache misses on the same expensive run
+// must collapse to ONE simulation (the old check-then-act map cache could
+// run the same train profile twice). All callers must observe the same
+// result instance.
+func TestLabSingleFlight(t *testing.T) {
 	l := NewLab(30_000)
 	w := workload.ByName("mcf")
-	p1, t1 := l.train(w)
-	p2, t2 := l.train(w)
-	if p1 != p2 || t1 != t2 {
-		t.Errorf("train results not cached")
+	const callers = 8
+	results := make([]*core.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = l.Baseline(w)
+		}()
 	}
-	b1 := l.Baseline(w, l.Cfg, "default")
-	b2 := l.Baseline(w, l.Cfg, "default")
-	if b1 != b2 {
-		t.Errorf("baseline not cached")
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result instance", i)
+		}
+	}
+	if s := l.R.Stats(); s.Executed != 1 {
+		t.Fatalf("%d simulations executed for %d concurrent identical requests, want 1", s.Executed, callers)
+	}
+
+	// The analysis path (the old Lab.train) is memoized the same way.
+	a1 := l.Analyze(w, crisp.DefaultOptions())
+	a2 := l.Analyze(w, crisp.DefaultOptions())
+	if a1 != a2 {
+		t.Errorf("Analyze results not memoized")
 	}
 }
 
@@ -164,7 +188,7 @@ func TestAnalyzeProducesTags(t *testing.T) {
 
 func TestSection31(t *testing.T) {
 	l := NewLab(50_000)
-	tab := l.Section31()
+	tab := l.Section31().MustTable()
 	if len(tab.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -177,7 +201,7 @@ func TestSection31(t *testing.T) {
 func TestPrefetcherSensitivity(t *testing.T) {
 	l := NewLab(50_000)
 	l.Only = []string{"mcf"}
-	tab := l.PrefetcherSensitivity()
+	tab := l.PrefetcherSensitivity().MustTable()
 	if len(tab.Rows) != 1 || len(tab.Rows[0].Cells) != 4 {
 		t.Fatalf("unexpected shape: %+v", tab.Rows)
 	}
@@ -186,5 +210,16 @@ func TestPrefetcherSensitivity(t *testing.T) {
 		if g < 0.5 {
 			t.Errorf("mcf gain under %s = %.2f%%, want > 0.5%%", tab.Columns[i+1], g)
 		}
+	}
+}
+
+// TestPendingErrorPropagates: a figure over an unknown workload fails
+// with the name list instead of panicking inside a worker goroutine.
+func TestPendingErrorPropagates(t *testing.T) {
+	l := NewLab(10_000)
+	l.Only = []string{"no-such-workload"}
+	_, err := l.Figure7().Table(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "no-such-workload") || !strings.Contains(err.Error(), "mcf") {
+		t.Fatalf("err = %v, want unknown-workload error listing known names", err)
 	}
 }

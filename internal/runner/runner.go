@@ -1,0 +1,199 @@
+// Package runner executes declarative simulation jobs (sim.RunSpec and
+// the software-pipeline specs derived from them) on a bounded worker
+// pool with content-keyed deduplication and memoization.
+//
+// The experiment harness submits the flat set of specs behind every
+// requested figure at once; the runner collapses identical specs to a
+// single execution (figures share OOO baselines and train profiles),
+// saturates the pool across figure boundaries, honours context
+// cancellation mid-simulation, and optionally persists results as JSON
+// keyed by spec hash + code version so interrupted or repeated sweeps
+// resume from cache.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configure a Runner.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// CacheDir, when non-empty, persists results there as JSON keyed by
+	// spec hash + code version; re-runs load them instead of simulating.
+	CacheDir string
+}
+
+// Stats is a snapshot of the runner's progress counters.
+type Stats struct {
+	Started  int64 // unique tasks registered (deduped)
+	Done     int64 // tasks finished (success or failure)
+	Failed   int64 // tasks finished with an error
+	Executed int64 // timing simulations actually run on the pool
+	DiskHits int64 // results served from the persistent cache
+}
+
+// Runner is a context-aware single-flight executor: each distinct task
+// key runs at most once, concurrent requesters share the result, and at
+// most Workers tasks simulate at a time.
+type Runner struct {
+	ctx   context.Context
+	sem   chan struct{}
+	store *Store
+
+	mu    sync.Mutex
+	calls map[string]*call
+
+	started, done, failed, executed, diskHits atomic.Int64
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a Runner. ctx is the base context for background
+// submissions (Submit*); cancelling it aborts in-flight work.
+func New(ctx context.Context, opts Options) (*Runner, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	store, err := NewStore(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		ctx:   ctx,
+		sem:   make(chan struct{}, workers),
+		store: store,
+		calls: make(map[string]*call),
+	}, nil
+}
+
+// Stats returns a snapshot of the progress counters. Started grows as
+// submitted specs resolve their dependencies, so Done/Started is a live
+// progress fraction, not a fixed total.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Started:  r.started.Load(),
+		Done:     r.done.Load(),
+		Failed:   r.failed.Load(),
+		Executed: r.executed.Load(),
+		DiskHits: r.diskHits.Load(),
+	}
+}
+
+// slot tracks whether the current goroutine holds a worker token. It is
+// threaded through contexts so that a task computing a dependency
+// in-line keeps its token, while a task *waiting* on someone else's
+// in-flight computation releases its token back to the pool.
+type slot struct{ held bool }
+
+type slotCtxKey struct{}
+
+func (r *Runner) acquire(ctx context.Context, s *slot) error {
+	if s.held {
+		return nil
+	}
+	select {
+	case r.sem <- struct{}{}:
+		s.held = true
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Runner) release(s *slot) {
+	if s.held {
+		<-r.sem
+		s.held = false
+	}
+}
+
+// ctxErr reports whether err is a context cancellation or deadline.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do returns the memoized value for key, computing it with fn at most
+// once across all concurrent callers. The owning caller runs fn on a
+// worker token (acquiring one unless it already holds one); joining
+// callers release any token they hold while they wait, so a pool of
+// tasks blocked on one shared dependency does not idle the machine.
+// Failed computations are not memoized: cancellation of one caller
+// leaves the key recomputable by the next.
+func (r *Runner) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
+	for {
+		r.mu.Lock()
+		if c, ok := r.calls[key]; ok {
+			r.mu.Unlock()
+			s, _ := ctx.Value(slotCtxKey{}).(*slot)
+			joinedWithToken := s != nil && s.held
+			if joinedWithToken {
+				r.release(s)
+			}
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if joinedWithToken {
+				if err := r.acquire(ctx, s); err != nil {
+					return nil, err
+				}
+			}
+			if c.err != nil && ctxErr(c.err) && ctx.Err() == nil {
+				continue // owner was cancelled but we are alive: recompute
+			}
+			return c.val, c.err
+		}
+		c := &call{done: make(chan struct{})}
+		r.calls[key] = c
+		r.mu.Unlock()
+		r.started.Add(1)
+
+		s, _ := ctx.Value(slotCtxKey{}).(*slot)
+		if s == nil {
+			s = &slot{}
+			ctx = context.WithValue(ctx, slotCtxKey{}, s)
+		}
+		nested := s.held
+		if err := r.acquire(ctx, s); err != nil {
+			c.err = err
+		} else {
+			c.val, c.err = fn(ctx)
+			if !nested {
+				r.release(s)
+			}
+		}
+		if c.err != nil {
+			// Drop failures from the memo table so a later attempt (for
+			// example after a cancelled sweep resumes) can recompute.
+			r.mu.Lock()
+			if r.calls[key] == c {
+				delete(r.calls, key)
+			}
+			r.mu.Unlock()
+			r.failed.Add(1)
+		}
+		r.done.Add(1)
+		close(c.done)
+		return c.val, c.err
+	}
+}
+
+// background starts fn for key on the pool without waiting for it; a
+// later do() with the same key joins the in-flight computation.
+func (r *Runner) background(key string, fn func(context.Context) (any, error)) {
+	go r.do(r.ctx, key, fn) //nolint:errcheck // result observed via the memo table
+}

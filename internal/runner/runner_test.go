@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/sim"
+)
+
+func newRunner(t *testing.T, opts Options) *Runner {
+	t.Helper()
+	r, err := New(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func chaseSpec(insts uint64) sim.RunSpec {
+	return sim.RunSpec{Workload: "pointerchase", Insts: insts}
+}
+
+// TestSingleFlight: concurrent requests for one spec run one simulation
+// and share the result instance.
+func TestSingleFlight(t *testing.T) {
+	r := newRunner(t, Options{Workers: 4})
+	const callers = 16
+	results := make([]*core.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(context.Background(), chaseSpec(20_000))
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result instance", i)
+		}
+	}
+	if s := r.Stats(); s.Executed != 1 {
+		t.Fatalf("Executed = %d, want 1", s.Executed)
+	}
+}
+
+// TestCrispSharesProfile: a CRISP run resolves its train profile through
+// the same memo table, so a later explicit request for the profile is a
+// hit, not a new simulation.
+func TestCrispSharesProfile(t *testing.T) {
+	r := newRunner(t, Options{Workers: 2})
+	ctx := context.Background()
+	spec := chaseSpec(20_000).WithCrisp(crisp.DefaultOptions())
+	if _, err := r.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	executed := r.Stats().Executed // crisp run + its train profile
+	profile := sim.RunSpec{Workload: "pointerchase", Input: sim.InputTrain, Insts: 20_000}
+	if _, err := r.Run(ctx, profile); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.Stats().Executed; after != executed {
+		t.Fatalf("train profile re-executed: %d -> %d", executed, after)
+	}
+	// Same analysis under the same options is memoized too.
+	a1, err := r.Analysis(ctx, AnalysisSpec{Workload: "pointerchase", Insts: 20_000, Opts: crisp.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := r.Analysis(ctx, AnalysisSpec{Workload: "pointerchase", Insts: 20_000, Opts: crisp.DefaultOptions()})
+	if a1 != a2 {
+		t.Error("analysis not memoized")
+	}
+}
+
+// TestDiskCache: a second runner over the same cache dir serves results
+// from disk without simulating, and the JSON round-trip preserves the
+// numbers figures are formatted from.
+func TestDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := chaseSpec(20_000).WithCrisp(crisp.DefaultOptions())
+
+	r1 := newRunner(t, Options{Workers: 2, CacheDir: dir})
+	warm, err := r1.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r1.Stats(); s.Executed == 0 || s.DiskHits != 0 {
+		t.Fatalf("cold run stats = %+v", s)
+	}
+
+	r2 := newRunner(t, Options{Workers: 2, CacheDir: dir})
+	cached, err := r2.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r2.Stats(); s.Executed != 0 {
+		t.Fatalf("warm run executed %d simulations, want 0", s.Executed)
+	}
+	if cached.IPC() != warm.IPC() || cached.Cycles != warm.Cycles || cached.Insts != warm.Insts ||
+		cached.LLCMPKI() != warm.LLCMPKI() || cached.BranchMPKI() != warm.BranchMPKI() {
+		t.Fatalf("round-tripped result differs: %+v vs %+v", cached, warm)
+	}
+	if len(cached.Loads) != len(warm.Loads) {
+		t.Fatalf("per-PC load profiles lost in round trip: %d vs %d", len(cached.Loads), len(warm.Loads))
+	}
+
+	// The analysis was persisted as well: a warm pipeline request must
+	// not re-profile.
+	if _, err := r2.Analysis(ctx, AnalysisSpec{Workload: "pointerchase", Insts: 20_000, Opts: crisp.DefaultOptions()}); err != nil {
+		t.Fatal(err)
+	}
+	if s := r2.Stats(); s.Executed != 0 {
+		t.Fatalf("warm analysis executed %d simulations, want 0", s.Executed)
+	}
+}
+
+// TestCancellation: a cancelled context aborts a long simulation
+// mid-cycle-loop, and the key stays recomputable afterwards.
+func TestCancellation(t *testing.T) {
+	r := newRunner(t, Options{Workers: 1})
+	spec := chaseSpec(200_000_000) // far more than completes in the deadline
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Run(ctx, spec)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; context not threaded into the cycle loop", elapsed)
+	}
+	// The failed attempt is not memoized: a fresh context can run a
+	// (smaller) spec with the same key path.
+	if _, err := r.Run(context.Background(), chaseSpec(10_000)); err != nil {
+		t.Fatalf("runner unusable after cancellation: %v", err)
+	}
+}
+
+// TestUnknownWorkload: a bad name produces an error enumerating the
+// registry instead of a nil-pointer panic in a worker.
+func TestUnknownWorkload(t *testing.T) {
+	r := newRunner(t, Options{Workers: 1})
+	_, err := r.Run(context.Background(), sim.RunSpec{Workload: "mfc", Insts: 1000})
+	if err == nil || !strings.Contains(err.Error(), `"mfc"`) || !strings.Contains(err.Error(), "mcf") {
+		t.Fatalf("err = %v, want unknown-workload error listing known names", err)
+	}
+	if err := ValidateWorkloads([]string{"mcf", "lbm"}); err != nil {
+		t.Fatalf("ValidateWorkloads(valid) = %v", err)
+	}
+	if err := ValidateWorkloads([]string{"mcf", "bogus"}); err == nil {
+		t.Fatal("ValidateWorkloads missed a bad name")
+	}
+}
+
+// TestSubmitHandles: background submission overlaps independent runs and
+// handles join the in-flight work.
+func TestSubmitHandles(t *testing.T) {
+	r := newRunner(t, Options{Workers: 4})
+	h1 := r.Submit(chaseSpec(20_000))
+	h2 := r.Submit(sim.RunSpec{Workload: "mcf", Insts: 20_000})
+	h3 := r.Submit(chaseSpec(20_000)) // duplicate of h1
+	ctx := context.Background()
+	r1, err := h1.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Result(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := h3.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r3 {
+		t.Error("duplicate submission produced a distinct result")
+	}
+	if s := r.Stats(); s.Executed != 2 {
+		t.Errorf("Executed = %d, want 2", s.Executed)
+	}
+}

@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the persistent result cache: one JSON file per task, named by
+// kind and content key. Keys already hash sim.CodeVersion, so a
+// simulator change naturally misses every stale entry instead of serving
+// wrong numbers. A nil-dir Store stores nothing.
+type Store struct {
+	dir string
+}
+
+// Store kinds (file-name prefixes).
+const (
+	kindRun       = "run"
+	kindAnalysis  = "analysis"
+	kindFootprint = "footprint"
+)
+
+// NewStore returns a Store rooted at dir, creating it if needed. An
+// empty dir disables persistence.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return &Store{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: create cache dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Enabled reports whether the store persists anything.
+func (s *Store) Enabled() bool { return s.dir != "" }
+
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind+"-"+key+".json")
+}
+
+// Get loads the cached value for (kind, key) into v, reporting whether a
+// valid entry existed. Corrupt or unreadable entries count as misses.
+func (s *Store) Get(kind, key string, v any) bool {
+	if s.dir == "" {
+		return false
+	}
+	b, err := os.ReadFile(s.path(kind, key))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(b, v) == nil
+}
+
+// Put persists v under (kind, key). The write is atomic (temp file +
+// rename) so an interrupted sweep never leaves a torn entry behind.
+func (s *Store) Put(kind, key string, v any) error {
+	if s.dir == "" {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(kind, key))
+}

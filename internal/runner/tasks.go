@@ -1,0 +1,255 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/sim"
+	"crisp/internal/trace"
+	"crisp/internal/workload"
+)
+
+// resolveWorkload looks up a workload name, returning an error that
+// enumerates the known names on a miss (so a typo in -only or -workload
+// fails with guidance instead of a nil-pointer panic in a goroutine).
+func resolveWorkload(name string) (*workload.Workload, error) {
+	if w := workload.ByName(name); w != nil {
+		return w, nil
+	}
+	return nil, fmt.Errorf("runner: unknown workload %q (known: %s)",
+		name, strings.Join(workload.Names(), ", "))
+}
+
+// ValidateWorkloads checks a list of workload names, for flag validation
+// before any job is submitted.
+func ValidateWorkloads(names []string) error {
+	for _, n := range names {
+		if _, err := resolveWorkload(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------- timing runs
+
+// Run resolves a timing spec to its result, executing the simulation at
+// most once per content key across all concurrent callers and processes
+// sharing the persistent cache.
+func (r *Runner) Run(ctx context.Context, spec sim.RunSpec) (*core.Result, error) {
+	v, err := r.do(ctx, "run|"+spec.Key(), r.runTask(spec))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+// Submit starts spec on the pool without waiting and returns a handle
+// whose Result joins the in-flight (or finished) computation.
+func (r *Runner) Submit(spec sim.RunSpec) *RunHandle {
+	r.background("run|"+spec.Key(), r.runTask(spec))
+	return &RunHandle{r: r, Spec: spec}
+}
+
+// RunHandle is a submitted timing run.
+type RunHandle struct {
+	r    *Runner
+	Spec sim.RunSpec
+}
+
+// Result blocks until the run resolves.
+func (h *RunHandle) Result(ctx context.Context) (*core.Result, error) {
+	return h.r.Run(ctx, h.Spec)
+}
+
+func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		w, err := resolveWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			return nil, err
+		}
+		key := spec.Key()
+		var cached core.Result
+		if r.store.Get(kindRun, key, &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		var a *crisp.Analysis
+		if spec.Crisp != nil {
+			a, err = r.Analysis(ctx, AnalysisSpec{Workload: spec.Workload, Insts: spec.Insts, Opts: *spec.Crisp})
+			if err != nil {
+				return nil, err
+			}
+		}
+		variant := workload.Ref
+		if spec.Input == sim.InputTrain {
+			variant = workload.Train
+		}
+		img := w.Build(variant)
+		if a != nil {
+			img.Prog = a.Apply(img.Prog)
+		}
+		res, err := sim.RunContext(ctx, img, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.executed.Add(1)
+		// Cache-write failures only cost a future re-simulation.
+		_ = r.store.Put(kindRun, key, res)
+		return res, nil
+	}
+}
+
+// ------------------------------------------------- software pipeline
+
+// AnalysisSpec is a pure-data description of one CRISP software-pipeline
+// invocation: profile + trace the workload's train input at the given
+// budget, then classify, slice and filter under Opts.
+type AnalysisSpec struct {
+	Workload string        `json:"workload"`
+	Insts    uint64        `json:"insts"`
+	Opts     crisp.Options `json:"opts"`
+}
+
+// Key returns the spec's deterministic content key (see sim.RunSpec.Key).
+func (s AnalysisSpec) Key() string {
+	b, err := json.Marshal(s)
+	if err != nil { // unreachable: AnalysisSpec is plain data
+		panic(fmt.Sprintf("runner: marshal AnalysisSpec: %v", err))
+	}
+	h := sha256.Sum256(append([]byte(sim.CodeVersion+"|analysis|"), b...))
+	return hex.EncodeToString(h[:16])
+}
+
+// Analysis resolves the CRISP software pipeline for a spec. The train
+// profiling run is a regular timing job (deduped and disk-cached like
+// any other); the trace is memoized in memory; the resulting Analysis is
+// also persisted, so cache-warm sweeps skip the pipeline entirely.
+func (r *Runner) Analysis(ctx context.Context, spec AnalysisSpec) (*crisp.Analysis, error) {
+	v, err := r.do(ctx, "analysis|"+spec.Key(), r.analysisTask(spec))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*crisp.Analysis), nil
+}
+
+// SubmitAnalysis starts the pipeline without waiting.
+func (r *Runner) SubmitAnalysis(spec AnalysisSpec) *AnalysisHandle {
+	r.background("analysis|"+spec.Key(), r.analysisTask(spec))
+	return &AnalysisHandle{r: r, Spec: spec}
+}
+
+// AnalysisHandle is a submitted software-pipeline job.
+type AnalysisHandle struct {
+	r    *Runner
+	Spec AnalysisSpec
+}
+
+// Result blocks until the analysis resolves.
+func (h *AnalysisHandle) Result(ctx context.Context) (*crisp.Analysis, error) {
+	return h.r.Analysis(ctx, h.Spec)
+}
+
+func (r *Runner) analysisTask(spec AnalysisSpec) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		w, err := resolveWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		var cached crisp.Analysis
+		if r.store.Get(kindAnalysis, spec.Key(), &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		prof, err := r.Run(ctx, sim.RunSpec{Workload: spec.Workload, Input: sim.InputTrain, Insts: spec.Insts})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := r.trace(ctx, spec.Workload, spec.Insts)
+		if err != nil {
+			return nil, err
+		}
+		a := crisp.Analyze(prof, tr, w.Build(workload.Train).Prog, spec.Opts)
+		_ = r.store.Put(kindAnalysis, spec.Key(), a)
+		return a, nil
+	}
+}
+
+// trace memoizes the train-input trace capture per (workload, budget).
+// Traces are large, so they live in memory only; the analyses and
+// footprints derived from them are what the disk cache persists.
+func (r *Runner) trace(ctx context.Context, name string, insts uint64) (*trace.Trace, error) {
+	key := fmt.Sprintf("trace|%s|%d", name, insts)
+	v, err := r.do(ctx, key, func(ctx context.Context) (any, error) {
+		w, err := resolveWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		return sim.CaptureTrace(w.Build(workload.Train), insts), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Trace), nil
+}
+
+// Footprint resolves the Figure 12 code-size metrics for an analysis.
+func (r *Runner) Footprint(ctx context.Context, spec AnalysisSpec) (*crisp.Footprint, error) {
+	v, err := r.do(ctx, "footprint|"+spec.Key(), r.footprintTask(spec))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*crisp.Footprint), nil
+}
+
+// SubmitFootprint starts the footprint measurement without waiting.
+func (r *Runner) SubmitFootprint(spec AnalysisSpec) *FootprintHandle {
+	r.background("footprint|"+spec.Key(), r.footprintTask(spec))
+	return &FootprintHandle{r: r, Spec: spec}
+}
+
+// FootprintHandle is a submitted footprint measurement.
+type FootprintHandle struct {
+	r    *Runner
+	Spec AnalysisSpec
+}
+
+// Result blocks until the footprint resolves.
+func (h *FootprintHandle) Result(ctx context.Context) (*crisp.Footprint, error) {
+	return h.r.Footprint(ctx, h.Spec)
+}
+
+func (r *Runner) footprintTask(spec AnalysisSpec) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		w, err := resolveWorkload(spec.Workload)
+		if err != nil {
+			return nil, err
+		}
+		var cached crisp.Footprint
+		if r.store.Get(kindFootprint, spec.Key(), &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		a, err := r.Analysis(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := r.trace(ctx, spec.Workload, spec.Insts)
+		if err != nil {
+			return nil, err
+		}
+		fp := crisp.MeasureFootprint(w.Build(workload.Train).Prog, tr, a.CriticalPCs)
+		_ = r.store.Put(kindFootprint, spec.Key(), &fp)
+		return &fp, nil
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -105,6 +106,16 @@ func (m ibdaMarker) MarkDispatch(pc int, isLoad bool, producers []int) bool {
 
 // Run executes one timing simulation of the image under cfg.
 func Run(img *Image, cfg Config) *core.Result {
+	r, _ := RunContext(context.Background(), img, cfg)
+	return r
+}
+
+// RunContext is Run with cancellation: the context's Done channel is
+// polled inside the core's cycle loop (every few thousand simulated
+// cycles), so a cancelled or timed-out sweep stops mid-simulation instead
+// of running its instruction budget out. On cancellation it returns
+// (nil, ctx.Err()) and the partial run is not counted in HostTotals.
+func RunContext(ctx context.Context, img *Image, cfg Config) (*core.Result, error) {
 	hier := cache.NewHierarchy(cfg.Hier)
 	switch cfg.Prefetcher {
 	case PFBOPStream:
@@ -135,10 +146,23 @@ func Run(img *Image, cfg Config) *core.Result {
 		em.SetReg(r, v)
 	}
 	c := core.New(cfg.Core, img.Prog, em, hier, marker)
+	if done := ctx.Done(); done != nil {
+		c.SetCancelCheck(func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+	}
 	r := c.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hostInsts.Add(r.Insts)
 	hostNS.Add(uint64(r.HostNS))
-	return r
+	return r, nil
 }
 
 // Cumulative host-throughput counters across every Run in the process

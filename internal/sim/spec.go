@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/ibda"
+)
+
+// CodeVersion tags the simulator's observable behaviour. It is hashed
+// into every RunSpec key, so persistent result caches are invalidated
+// when a change makes simulations produce different numbers. Bump it
+// whenever timing behaviour changes.
+const CodeVersion = "crisp-sim-2"
+
+// Input variants a RunSpec can run (Section 5.1's separate profiling and
+// evaluation inputs).
+const (
+	InputTrain = "train"
+	InputRef   = "ref"
+)
+
+// Scheduler names a RunSpec can request.
+const (
+	SchedOOO    = "ooo"
+	SchedCRISP  = "crisp"
+	SchedRandom = "random"
+)
+
+// RunSpec is a pure-data description of one timing simulation: which
+// workload and input to run, under which scheduler and machine variant,
+// and — for CRISP runs — which software-pipeline options produce the
+// critical tags. Zero values mean the Table 1 defaults, so the minimal
+// spec is {Workload, Insts}: the OOO baseline on the ref input.
+//
+// A RunSpec has a deterministic content key (Key) covering every field
+// plus CodeVersion, which lets executors deduplicate identical runs and
+// memoize results across processes.
+type RunSpec struct {
+	// Workload is the workload.ByName key. The spec layer does not
+	// resolve it (that would invert the workload→sim dependency);
+	// executors validate and build the image.
+	Workload string `json:"workload"`
+	// Input selects InputTrain or InputRef ("" = ref).
+	Input string `json:"input,omitempty"`
+	// Sched selects the issue policy: SchedOOO, SchedCRISP or
+	// SchedRandom ("" = ooo).
+	Sched string `json:"sched,omitempty"`
+	// PerfectBP replaces TAGE with an oracle direction predictor.
+	PerfectBP bool `json:"perfect_bp,omitempty"`
+	// Insts is the instruction budget (core.Config.MaxInsts; 0 = to Halt).
+	Insts uint64 `json:"insts"`
+	// RS and ROB override the window sizes when nonzero (Figure 9).
+	RS  int `json:"rs,omitempty"`
+	ROB int `json:"rob,omitempty"`
+	// Prefetcher selects the data-prefetch configuration (zero value is
+	// the Table 1 bop+stream).
+	Prefetcher PrefetcherKind `json:"prefetcher,omitempty"`
+	// UPCWindow enables per-window retirement sampling (Figure 1).
+	UPCWindow int `json:"upc_window,omitempty"`
+	// IBDA, when non-nil, attaches the runtime IBDA marker; use with
+	// Sched: "crisp" so the marks take effect.
+	IBDA *ibda.Config `json:"ibda,omitempty"`
+	// Crisp, when non-nil, asks the executor to run the CRISP software
+	// pipeline on the workload's train input under these options and run
+	// the tagged program; use with Sched: "crisp".
+	Crisp *crisp.Options `json:"crisp,omitempty"`
+}
+
+// normalize returns the spec with defaulted fields canonicalized, so
+// semantically identical specs share one key: empty input/scheduler
+// names become explicit, and window sizes spelled out as the Table 1
+// values collapse to the zero value.
+func (s RunSpec) normalize() RunSpec {
+	if s.Input == "" {
+		s.Input = InputRef
+	}
+	if s.Sched == "" {
+		s.Sched = SchedOOO
+	}
+	def := core.DefaultConfig()
+	if s.RS == def.RSSize {
+		s.RS = 0
+	}
+	if s.ROB == def.ROBSize {
+		s.ROB = 0
+	}
+	return s
+}
+
+// Key returns the spec's deterministic content key: a hex digest of the
+// normalized spec and CodeVersion. Two specs with equal keys describe
+// byte-identical simulations.
+func (s RunSpec) Key() string {
+	b, err := json.Marshal(s.normalize())
+	if err != nil { // unreachable: RunSpec is plain data
+		panic(fmt.Sprintf("sim: marshal RunSpec: %v", err))
+	}
+	h := sha256.Sum256(append([]byte(CodeVersion+"|run|"), b...))
+	return hex.EncodeToString(h[:16])
+}
+
+// Validate reports spec-level errors: unknown input or scheduler names,
+// or a missing workload name. Workload existence is checked by the
+// executor, which owns the workload registry.
+func (s RunSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("sim: RunSpec has no workload")
+	}
+	n := s.normalize()
+	if n.Input != InputTrain && n.Input != InputRef {
+		return fmt.Errorf("sim: unknown input %q (want %q or %q)", s.Input, InputTrain, InputRef)
+	}
+	switch n.Sched {
+	case SchedOOO, SchedCRISP, SchedRandom:
+	default:
+		return fmt.Errorf("sim: unknown scheduler %q (want ooo, crisp or random)", s.Sched)
+	}
+	if s.Crisp != nil && s.IBDA != nil {
+		return fmt.Errorf("sim: RunSpec requests both static CRISP tags and runtime IBDA marking")
+	}
+	return nil
+}
+
+// Config materializes the simulated-system configuration the spec
+// describes: Table 1 defaults with the spec's overrides applied.
+func (s RunSpec) Config() (Config, error) {
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	n := s.normalize()
+	cfg := DefaultConfig()
+	cfg.Core.MaxInsts = n.Insts
+	if n.RS > 0 {
+		cfg.Core.RSSize = n.RS
+	}
+	if n.ROB > 0 {
+		cfg.Core.ROBSize = n.ROB
+	}
+	cfg.Prefetcher = n.Prefetcher
+	cfg.Core.UPCWindow = n.UPCWindow
+	cfg.Core.PerfectBP = n.PerfectBP
+	switch n.Sched {
+	case SchedOOO:
+		cfg.Core.Scheduler = core.SchedOldestFirst
+	case SchedCRISP:
+		cfg.Core.Scheduler = core.SchedCRISP
+	case SchedRandom:
+		cfg.Core.Scheduler = core.SchedRandom
+	}
+	if n.IBDA != nil {
+		ib := *n.IBDA
+		cfg.IBDA = &ib
+	}
+	return cfg, nil
+}
+
+// WithCrisp returns a copy tagged for a CRISP run under opts.
+func (s RunSpec) WithCrisp(opts crisp.Options) RunSpec {
+	s.Sched = SchedCRISP
+	s.Crisp = &opts
+	return s
+}
+
+// WithIBDA returns a copy running under runtime IBDA marking.
+func (s RunSpec) WithIBDA(cfg ibda.Config) RunSpec {
+	s.Sched = SchedCRISP
+	s.IBDA = &cfg
+	return s
+}

@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/ibda"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+func TestRunSpecKeyDeterministicAndDistinct(t *testing.T) {
+	a := sim.RunSpec{Workload: "mcf", Insts: 1000}
+	if a.Key() != a.Key() {
+		t.Fatal("key not deterministic")
+	}
+	// Normalization: explicit defaults share the implicit-default key.
+	b := sim.RunSpec{Workload: "mcf", Input: sim.InputRef, Sched: sim.SchedOOO, Insts: 1000}
+	if a.Key() != b.Key() {
+		t.Error("normalized spec keys differ for identical semantics")
+	}
+	// Spelling out the Table 1 window sizes is the same machine.
+	c := sim.RunSpec{Workload: "mcf", Insts: 1000, RS: 96, ROB: 224}
+	if a.Key() != c.Key() {
+		t.Error("default-window spec key differs from zero-value spec")
+	}
+	distinct := []sim.RunSpec{
+		{Workload: "lbm", Insts: 1000},
+		{Workload: "mcf", Insts: 2000},
+		{Workload: "mcf", Insts: 1000, Input: sim.InputTrain},
+		{Workload: "mcf", Insts: 1000, Sched: sim.SchedCRISP},
+		{Workload: "mcf", Insts: 1000, RS: 64, ROB: 180},
+		{Workload: "mcf", Insts: 1000, Prefetcher: sim.PFStride},
+		{Workload: "mcf", Insts: 1000, UPCWindow: 200},
+		{Workload: "mcf", Insts: 1000, PerfectBP: true},
+		a.WithCrisp(crisp.DefaultOptions()),
+		a.WithIBDA(ibda.Config{ISTEntries: 1024, ISTWays: 4, DLTEntries: 32}),
+	}
+	seen := map[string]int{a.Key(): -1}
+	for i, s := range distinct {
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("specs %d and %d collide on key %s", i, prev, k)
+		}
+		seen[k] = i
+	}
+	// Different pipeline options change the key.
+	o := crisp.DefaultOptions()
+	o.MissShareThreshold = 0.05
+	if a.WithCrisp(o).Key() == a.WithCrisp(crisp.DefaultOptions()).Key() {
+		t.Error("crisp option change did not change the key")
+	}
+}
+
+func TestRunSpecConfig(t *testing.T) {
+	s := sim.RunSpec{Workload: "mcf", Insts: 5000, RS: 64, ROB: 180,
+		Sched: sim.SchedCRISP, Prefetcher: sim.PFGHB, UPCWindow: 100, PerfectBP: true}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Core.MaxInsts != 5000 || cfg.Core.RSSize != 64 || cfg.Core.ROBSize != 180 {
+		t.Errorf("window/budget not applied: %+v", cfg.Core)
+	}
+	if cfg.Core.Scheduler != core.SchedCRISP || cfg.Prefetcher != sim.PFGHB ||
+		cfg.Core.UPCWindow != 100 || !cfg.Core.PerfectBP {
+		t.Errorf("variant fields not applied: %+v", cfg)
+	}
+	// Zero-value spec means the Table 1 system.
+	cfg, err = sim.RunSpec{Workload: "mcf", Insts: 1}.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := sim.DefaultConfig()
+	if cfg.Core.RSSize != def.Core.RSSize || cfg.Core.ROBSize != def.Core.ROBSize ||
+		cfg.Prefetcher != def.Prefetcher || cfg.Core.Scheduler != core.SchedOldestFirst {
+		t.Errorf("zero-value spec is not the default system: %+v", cfg)
+	}
+	// IBDA config is copied, not shared.
+	ib := ibda.Config{ISTEntries: 8, ISTWays: 2, DLTEntries: 4}
+	s = sim.RunSpec{Workload: "mcf", Insts: 1}.WithIBDA(ib)
+	cfg, _ = s.Config()
+	cfg.IBDA.ISTEntries = 99
+	if s.IBDA.ISTEntries != 8 {
+		t.Error("Config aliases the spec's IBDA config")
+	}
+}
+
+func TestRunSpecValidate(t *testing.T) {
+	bad := []sim.RunSpec{
+		{},
+		{Workload: "mcf", Input: "test"},
+		{Workload: "mcf", Sched: "fifo"},
+		{Workload: "mcf", Sched: sim.SchedCRISP,
+			Crisp: &crisp.Options{}, IBDA: &ibda.Config{ISTEntries: 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated: %+v", i, s)
+		}
+	}
+	if err := (sim.RunSpec{Workload: "anything", Insts: 1}).Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+// TestRunContextCancel: cancelling mid-simulation returns promptly with
+// the context's error instead of running the budget out.
+func TestRunContextCancel(t *testing.T) {
+	w := workload.ByName("pointerchase")
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = 500_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	r, err := sim.RunContext(ctx, w.Build(workload.Ref), cfg)
+	if err == nil || r != nil {
+		t.Fatalf("sim.RunContext = (%v, %v), want (nil, ctx error)", r, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
