@@ -24,6 +24,7 @@ import (
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/ibda"
+	"crisp/internal/metrics"
 	"crisp/internal/runner"
 	"crisp/internal/sim"
 	"crisp/internal/workload"
@@ -35,15 +36,17 @@ func main() {
 
 func run() int {
 	var (
-		name     = flag.String("workload", "pointerchase", "workload name (-list to enumerate)")
-		sched    = flag.String("sched", "crisp", "scheduler: ooo, crisp, random, ibda, perfect-bp")
-		insts    = flag.Uint64("insts", 400_000, "instructions to simulate")
-		ist      = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
-		rs       = flag.Int("rs", 96, "reservation station entries")
-		rob      = flag.Int("rob", 224, "reorder buffer entries")
-		cacheDir = flag.String("cache", "", "persist/reuse results in this directory")
-		list     = flag.Bool("list", false, "list workloads and exit")
-		verbose  = flag.Bool("v", false, "print per-load profiles of the hottest loads")
+		name       = flag.String("workload", "pointerchase", "workload name (-list to enumerate)")
+		sched      = flag.String("sched", "crisp", "scheduler: ooo, crisp, random, ibda, perfect-bp")
+		insts      = flag.Uint64("insts", 400_000, "instructions to simulate")
+		ist        = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
+		rs         = flag.Int("rs", 96, "reservation station entries")
+		rob        = flag.Int("rob", 224, "reorder buffer entries")
+		cacheDir   = flag.String("cache", "", "persist/reuse results in this directory")
+		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
+		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		verbose    = flag.Bool("v", false, "print per-load profiles of the hottest loads")
 	)
 	flag.Parse()
 
@@ -74,11 +77,15 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	r, err := runner.New(ctx, runner.Options{Workers: 1, CacheDir: *cacheDir})
+	r, err := runner.New(ctx, runner.Options{
+		Workers: 1, CacheDir: *cacheDir,
+		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crispsim:", err)
 		return 1
 	}
+	defer r.Close()
 
 	if spec.Crisp != nil {
 		// Resolve (or load) the software pipeline first so its summary
@@ -103,6 +110,17 @@ func run() int {
 	fmt.Printf("ROB head stalls %d (%.1f%% of cycles), fetch stalls %d, DRAM reads %d (avg %.0f cyc)\n",
 		res.ROBHeadStalls, float64(res.ROBHeadStalls)/float64(res.Cycles)*100,
 		res.FetchStallCycle, res.DRAMReads, res.DRAMAvgLat)
+	b := &res.Breakdown
+	pct := func(v uint64) float64 { return float64(v) / float64(b.Total()) * 100 }
+	fmt.Printf("slots: retired %.1f%%, frontend %.1f%%, branch %.1f%%, mem l1/llc/dram %.1f/%.1f/%.1f%%, core %.1f%%\n",
+		b.CommittedFrac()*100,
+		pct(b.Stalls[metrics.Frontend]), pct(b.Stalls[metrics.BranchRedirect]),
+		pct(b.Stalls[metrics.MemL1]), pct(b.Stalls[metrics.MemLLC]), pct(b.Stalls[metrics.MemDRAM]),
+		pct(b.Stalls[metrics.CoreROBFull]+b.Stalls[metrics.CoreRSFull]+b.Stalls[metrics.CoreLQFull]+
+			b.Stalls[metrics.CoreSQFull]+b.Stalls[metrics.CorePort]+b.Stalls[metrics.CoreDep]+b.Stalls[metrics.CoreExec]))
+	fmt.Printf("load latency mean %.0f cyc (p99 %d), dram latency mean %.0f cyc, mlp at miss %.1f, rob occupancy mean %.0f\n",
+		res.Hists.LoadLat.Mean(), res.Hists.LoadLat.Quantile(0.99),
+		res.Hists.DRAMLat.Mean(), res.Hists.MLPAtMiss.Mean(), res.Hists.OccROB.Mean())
 	if res.IssuedCritical > 0 {
 		fmt.Printf("critical issues %d, older-ready bypassed per issue %.1f\n",
 			res.IssuedCritical, float64(res.QueueJumpSum)/float64(res.IssuedCritical))

@@ -45,7 +45,7 @@ func main() {
 
 func run() int {
 	var (
-		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf")
+		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles")
 		table      = flag.String("table", "", "table to run: 1")
 		all        = flag.Bool("all", false, "run every experiment")
 		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
@@ -53,6 +53,8 @@ func run() int {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jobs       = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
 		cacheDir   = flag.String("cache", "", "persist results in this directory and reuse them across runs")
+		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
+		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		timeout    = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 		progress   = flag.Bool("progress", true, "print a progress line to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -112,11 +114,15 @@ func run() int {
 		defer cancel()
 	}
 
-	r, err := runner.New(ctx, runner.Options{Workers: *jobs, CacheDir: *cacheDir})
+	r, err := runner.New(ctx, runner.Options{
+		Workers: *jobs, CacheDir: *cacheDir,
+		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
 	}
+	defer r.Close()
 	lab := harness.NewLabWithRunner(*insts, r)
 	lab.Only = onlyNames
 
@@ -144,6 +150,7 @@ func run() int {
 		{"11", lab.Figure11},
 		{"12", lab.Figure12},
 		{"pf", lab.PrefetcherSensitivity},
+		{"cycles", lab.CycleAccounting},
 	} {
 		if wantFig(f.name) {
 			figures = append(figures, pendingFigure{p: f.build(), start: time.Now()})

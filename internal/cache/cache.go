@@ -319,6 +319,20 @@ func (c *Cache) touch(ln *line) {
 	ln.lru = c.lruClock
 }
 
+// MSHROccupancy returns the number of MSHR entries still tracking an
+// in-flight miss at the given cycle. Completed entries are garbage
+// collected lazily (on admission pressure), so they are excluded here
+// rather than trusting len(c.mshr).
+func (c *Cache) MSHROccupancy(cycle uint64) int {
+	n := 0
+	for _, e := range c.mshr {
+		if e.done > cycle {
+			n++
+		}
+	}
+	return n
+}
+
 // Contains reports whether the line holding addr is resident (test hook).
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)

@@ -1,0 +1,86 @@
+package core_test
+
+// Cycle-accounting invariants: the metrics layer attributes every commit
+// slot of every cycle, so the breakdown is an exact partition — not a
+// sampled approximation. These tests pin that property across workloads
+// and scheduling policies, plus the CRISP headline effect (the DRAM-bound
+// bucket shrinking under criticality scheduling).
+
+import (
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/metrics"
+	"crisp/internal/sim"
+)
+
+// TestBreakdownExactPartition checks, over two workloads and all three
+// schedulers, that sum(stall buckets) + committed slots == Cycles ×
+// CommitWidth and that committed slots equal committed µops.
+func TestBreakdownExactPartition(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.workload+"/"+tc.sched.String(), func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			cfg.Core.MaxInsts = goldenInsts
+			r := sim.Run(goldenImage(t, tc.workload, tc.sched), cfg.WithSched(tc.sched))
+
+			want := r.Cycles * uint64(cfg.Core.CommitWidth)
+			if got := r.Breakdown.Total(); got != want {
+				t.Errorf("Breakdown.Total() = %d, want Cycles×CommitWidth = %d (off by %d)",
+					got, want, int64(got)-int64(want))
+			}
+			if r.Breakdown.Committed != r.Insts {
+				t.Errorf("Breakdown.Committed = %d, want Insts = %d", r.Breakdown.Committed, r.Insts)
+			}
+			if r.Breakdown.StallSlots() == 0 {
+				t.Errorf("no stall slots attributed on a memory-bound workload")
+			}
+			if got := r.Hists.LoadLat.Total(); got != r.LoadExecs {
+				t.Errorf("LoadLat observations = %d, want LoadExecs = %d", got, r.LoadExecs)
+			}
+			if r.Hists.OccROB.Total() == 0 {
+				t.Errorf("no ROB occupancy samples over %d cycles", r.Cycles)
+			}
+		})
+	}
+}
+
+// TestBreakdownDRAMBoundShrinksUnderCRISP pins the paper's headline
+// mechanism as seen by the accounting layer: prioritizing the critical
+// slice overlaps DRAM misses, so the MemDRAM ROB-head bucket must shrink
+// versus the oldest-first baseline on the pointer-chasing workload.
+func TestBreakdownDRAMBoundShrinksUnderCRISP(t *testing.T) {
+	run := func(sched core.SchedulerKind) *core.Result {
+		cfg := sim.DefaultConfig()
+		cfg.Core.MaxInsts = goldenInsts
+		return sim.Run(goldenImage(t, "pointerchase", sched), cfg.WithSched(sched))
+	}
+	base := run(core.SchedOldestFirst)
+	crisp := run(core.SchedCRISP)
+	b := base.Breakdown.Stalls[metrics.MemDRAM]
+	c := crisp.Breakdown.Stalls[metrics.MemDRAM]
+	if b == 0 {
+		t.Fatal("baseline pointerchase shows no DRAM-bound slots; workload no longer memory-bound")
+	}
+	if c >= b {
+		t.Errorf("CRISP MemDRAM slots = %d, want < baseline %d", c, b)
+	}
+}
+
+// TestBreakdownPerPCLatHist checks the per-PC latency histograms agree
+// with the aggregate: summing every load PC's histogram reproduces the
+// run-level load-latency histogram.
+func TestBreakdownPerPCLatHist(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = goldenInsts
+	r := sim.Run(goldenImage(t, "mcf", core.SchedOldestFirst), cfg)
+	var sum metrics.Hist
+	for _, lp := range r.Loads {
+		sum.Add(&lp.LatHist)
+	}
+	if sum != r.Hists.LoadLat {
+		t.Errorf("per-PC LatHist sum != aggregate LoadLat (totals %d vs %d, sums %d vs %d)",
+			sum.Total(), r.Hists.LoadLat.Total(), sum.Sum, r.Hists.LoadLat.Sum)
+	}
+}

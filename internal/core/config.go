@@ -71,6 +71,12 @@ type Config struct {
 	// many cycles (Figure 1 timelines).
 	UPCWindow int
 
+	// OccSampleEvery is the occupancy-sampling period in cycles for the
+	// ROB/RS/LQ/SQ/MSHR histograms; it is rounded up to a power of two.
+	// <= 0 selects the default (256). Cycle attribution itself is always
+	// on and per-cycle exact — only occupancy is sampled.
+	OccSampleEvery int
+
 	// MaxInsts bounds the number of instructions simulated (0 = to Halt).
 	MaxInsts uint64
 }

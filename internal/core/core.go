@@ -9,6 +9,7 @@ import (
 	"crisp/internal/cache"
 	"crisp/internal/emu"
 	"crisp/internal/isa"
+	"crisp/internal/metrics"
 	"crisp/internal/program"
 )
 
@@ -35,6 +36,7 @@ type entry struct {
 	issued     bool
 	done       bool
 	doneAt     uint64
+	served     cache.ServedBy // loads: level serving the access
 
 	dep1, dep2 int64 // producer seqs, -1 when architecturally ready
 	storeDep   int64 // forwarding store seq, -1 if none
@@ -85,9 +87,18 @@ type Core struct {
 	sqHead    int
 	lqCount   int
 	sqCount   int
+	rsCount   int
 	portBusy  [isa.NumPortClasses][]uint64
 	rng       uint64
 	producers []int // scratch for marker callbacks
+
+	// Cycle-accounting state (internal/metrics): dispStall records which
+	// backend resources blocked dispatch last cycle, redirectUntil marks
+	// the end of the latest mispredict-redirect window, occMask gates
+	// occupancy sampling to power-of-two cycle boundaries.
+	dispStall     uint8
+	redirectUntil uint64
+	occMask       uint64
 
 	// Incremental scheduler state (see wakeup.go): persistent BID/PRIO
 	// vectors plus the wakeup machinery that maintains them.
@@ -155,6 +166,15 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 	c.stats.Loads = make(map[int]*LoadProf)
 	c.stats.Branches = make(map[int]*BranchProf)
 	c.curFetchLine = ^uint64(0)
+	occ := cfg.OccSampleEvery
+	if occ <= 0 {
+		occ = 256
+	}
+	period := 1
+	for period < occ {
+		period <<= 1
+	}
+	c.occMask = uint64(period - 1)
 	return c
 }
 
@@ -196,6 +216,9 @@ func (c *Core) Run() *Result {
 		c.issue()
 		c.dispatch()
 		c.fetch()
+		if c.cycle&c.occMask == 0 {
+			c.sampleOccupancy()
+		}
 		c.cycle++
 		if c.cfg.UPCWindow > 0 && c.cycle%uint64(c.cfg.UPCWindow) == 0 {
 			c.stats.UPCWindows = append(c.stats.UPCWindows, float64(c.upcAccum)/float64(c.cfg.UPCWindow))
@@ -225,9 +248,15 @@ func (c *Core) finished() bool {
 
 // ---------------------------------------------------------------- commit
 
+// commit retires up to CommitWidth µops and attributes every commit slot:
+// n slots retire, and the remaining CommitWidth-n slots of this cycle are
+// charged to the single stall bucket explaining why the ROB head could not
+// retire. Exactly CommitWidth slots are accounted per cycle, so
+// Breakdown.Total() == Cycles × CommitWidth by construction.
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth; n++ {
 		if c.headSeq == c.tailSeq {
+			c.stats.Breakdown.Stalls[c.emptyBucket()] += uint64(c.cfg.CommitWidth - n)
 			return
 		}
 		e := c.robEntry(c.headSeq)
@@ -236,8 +265,10 @@ func (c *Core) commit() {
 			if e.d.Inst.Op == isa.OpLoad {
 				c.loadProf(e.d.PC).HeadStall++
 			}
+			c.stats.Breakdown.Stalls[c.headBucket(e)] += uint64(c.cfg.CommitWidth - n)
 			return
 		}
+		c.stats.Breakdown.Committed++
 		switch e.d.Inst.Op {
 		case isa.OpLoad:
 			c.lqCount--
@@ -259,6 +290,72 @@ func (c *Core) commit() {
 		c.upcAccum++
 		c.lastRetire = c.cycle
 	}
+}
+
+// Dispatch-backpressure flags, recorded by dispatch() and consumed by the
+// next cycle's commit() to split core-bound stalls by blocked resource.
+const (
+	dsROBFull = 1 << iota
+	dsRSFull
+	dsLQFull
+	dsSQFull
+)
+
+// emptyBucket classifies a commit slot wasted while the ROB is empty:
+// either the machine is recovering from a mispredict (squash + redirect)
+// or the frontend simply failed to supply µops.
+func (c *Core) emptyBucket() metrics.Bucket {
+	if c.mispredictPending || c.cycle < c.redirectUntil {
+		return metrics.BranchRedirect
+	}
+	return metrics.Frontend
+}
+
+// headBucket classifies a commit slot wasted behind an uncommittable ROB
+// head. Issued loads charge the level serving them; issued non-loads are
+// execution latency; a ready-but-unissued head lost port or selection
+// bandwidth; otherwise the head waits on producers, and the split between
+// plain dependency latency and a window/queue/RS bottleneck comes from the
+// resource dispatch reported blocked last cycle.
+func (c *Core) headBucket(e *entry) metrics.Bucket {
+	if e.issued {
+		if e.d.Inst.Op == isa.OpLoad {
+			switch e.served {
+			case cache.ServedDRAM:
+				return metrics.MemDRAM
+			case cache.ServedLLC:
+				return metrics.MemLLC
+			default:
+				return metrics.MemL1
+			}
+		}
+		return metrics.CoreExec
+	}
+	if e.slot >= 0 && c.readyBid.Get(e.slot) {
+		return metrics.CorePort
+	}
+	switch {
+	case c.dispStall&dsROBFull != 0:
+		return metrics.CoreROBFull
+	case c.dispStall&dsRSFull != 0:
+		return metrics.CoreRSFull
+	case c.dispStall&dsLQFull != 0:
+		return metrics.CoreLQFull
+	case c.dispStall&dsSQFull != 0:
+		return metrics.CoreSQFull
+	}
+	return metrics.CoreDep
+}
+
+// sampleOccupancy records one occupancy sample of each bounded backend
+// structure (period OccSampleEvery, default 256 cycles).
+func (c *Core) sampleOccupancy() {
+	h := &c.stats.Hists
+	h.OccROB.Observe(c.tailSeq - c.headSeq)
+	h.OccRS.Observe(uint64(c.rsCount))
+	h.OccLQ.Observe(uint64(c.lqCount))
+	h.OccSQ.Observe(uint64(c.sqCount))
+	h.OccMSHR.Observe(uint64(c.hier.L1D.MSHROccupancy(c.cycle) + c.hier.LLC.MSHROccupancy(c.cycle)))
 }
 
 // ----------------------------------------------------------------- issue
@@ -397,6 +494,7 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 	c.matrix.Remove(e.slot)
 	c.slots[e.slot] = nil
 	e.slot = -1
+	c.rsCount--
 
 	op := e.d.Inst.Op
 	if op.Pipelined() {
@@ -413,18 +511,28 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 		if e.storeDep >= 0 {
 			// Store-to-load forwarding: AGU + bypass.
 			e.doneAt = c.cycle + 2
+			e.served = cache.ServedL1
 			lp.Forwards++
 			lp.TotalLat += 2
+			lp.LatHist.Observe(2)
+			c.stats.Hists.LoadLat.Observe(2)
 		} else {
 			done, by := c.hier.Data(uint64(e.d.PC), e.d.Addr, false, c.cycle+1)
 			e.doneAt = done
-			lp.TotalLat += done - c.cycle
+			e.served = by
+			lat := done - c.cycle
+			lp.TotalLat += lat
+			lp.LatHist.Observe(lat)
+			c.stats.Hists.LoadLat.Observe(lat)
 			if by != cache.ServedL1 {
 				lp.L1Miss++
 			}
 			if by == cache.ServedDRAM {
 				lp.LLCMiss++
-				lp.MLPSum += uint64(c.hier.OutstandingMisses(c.cycle + 1))
+				mlp := uint64(c.hier.OutstandingMisses(c.cycle + 1))
+				lp.MLPSum += mlp
+				c.stats.Hists.DRAMLat.Observe(lat)
+				c.stats.Hists.MLPAtMiss.Observe(mlp)
 			}
 		}
 	case isa.OpStore:
@@ -447,6 +555,9 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 		// The branch has resolved: the frontend refetches from the correct
 		// path after the redirect penalty.
 		c.fetchBlockedUntil = e.doneAt + uint64(c.cfg.RedirectPenalty)
+		if until := e.doneAt + uint64(c.cfg.RedirectPenalty); until > c.redirectUntil {
+			c.redirectUntil = until
+		}
 		if c.waitingBranchSeq == int64(e.seq) {
 			c.waitingBranchSeq = -1
 		}
@@ -456,6 +567,7 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 // -------------------------------------------------------------- dispatch
 
 func (c *Core) dispatch() {
+	c.dispStall = 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.fqLen == 0 {
 			return
@@ -465,17 +577,21 @@ func (c *Core) dispatch() {
 			return
 		}
 		if c.tailSeq-c.headSeq >= uint64(c.cfg.ROBSize) {
+			c.dispStall |= dsROBFull
 			return
 		}
 		op := f.d.Inst.Op
 		if op == isa.OpLoad && c.lqCount >= c.cfg.LoadQueue {
+			c.dispStall |= dsLQFull
 			return
 		}
 		if op == isa.OpStore && c.sqCount >= c.cfg.StoreQueue {
+			c.dispStall |= dsSQFull
 			return
 		}
 		slot := c.matrix.FreeSlot(c.nextRand())
 		if slot < 0 {
+			c.dispStall |= dsRSFull
 			return
 		}
 
@@ -524,6 +640,7 @@ func (c *Core) dispatch() {
 
 		c.matrix.Insert(slot)
 		c.slots[slot] = e
+		c.rsCount++
 		wait := c.armDep(e.dep1, slot, 0) + c.armDep(e.dep2, slot, 1)
 		if op == isa.OpLoad {
 			wait += c.armDep(e.storeDep, slot, 2)

@@ -1,6 +1,9 @@
 package core
 
-import "crisp/internal/cache"
+import (
+	"crisp/internal/cache"
+	"crisp/internal/metrics"
+)
 
 // LoadProf accumulates per-static-PC load behaviour: the measurements the
 // paper's software pipeline obtains from PMU counters and PEBS
@@ -13,6 +16,11 @@ type LoadProf struct {
 	MLPSum    uint64 // sum of outstanding DRAM misses sampled at each LLC miss
 	HeadStall uint64 // cycles this PC spent stalled at the ROB head
 	Forwards  uint64 // store-to-load forwards
+
+	// LatHist is the power-of-two histogram of this PC's load-to-use
+	// latencies, the per-load latency distribution PEBS-style sampling
+	// exposes on real hardware.
+	LatHist metrics.Hist
 }
 
 // AMAT returns the average memory access time of the load in cycles.
@@ -73,6 +81,15 @@ type Result struct {
 	CriticalExecs  uint64 // committed µops carrying the critical tag
 	IssuedCritical uint64 // issue slots granted via the PRIO vector
 	QueueJumpSum   uint64 // older ready entries bypassed by PRIO picks
+
+	// Breakdown is the exact cycle accounting: every commit slot of
+	// every cycle is either a committed µop or attributed to one stall
+	// bucket, so Breakdown.Total() == Cycles × CommitWidth and
+	// Breakdown.Committed == Insts.
+	Breakdown metrics.Breakdown
+	// Hists are the event and occupancy histograms (load/DRAM latency,
+	// MLP at miss, sampled ROB/RS/LQ/SQ/MSHR occupancy).
+	Hists metrics.Hists
 
 	// Memory hierarchy snapshots.
 	L1I, L1D, LLC cache.Stats

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"crisp/internal/crisp"
+	"crisp/internal/metrics"
+	"crisp/internal/runner"
+)
+
+// CycleAccounting renders the top-down cycle accounting figure: for each
+// workload, the baseline OOO and the CRISP run's commit slots split into
+// retired work and the stall classes of internal/metrics, in percent.
+// Memory-bound is split by serving level — mem_dram is the ROB-head
+// DRAM-stall share CRISP exists to shrink — and the core-bound buckets
+// (window/RS/LQ/SQ/port/dep/exec) are aggregated into one column. Each
+// row self-checks the attribution invariant (buckets + retired slots sum
+// to Cycles × CommitWidth) and fails the figure on any drift.
+func (l *Lab) CycleAccounting() *Pending {
+	t := &Table{
+		Title:   "Cycle accounting: commit-slot breakdown (%)",
+		Columns: []string{"app/sched", "retired", "frontend", "branch", "mem_l1", "mem_llc", "mem_dram", "core_bound"},
+	}
+	width := l.Cfg.Core.CommitWidth
+	var rows []rowSource
+	for _, name := range l.suite() {
+		base := l.R.Submit(l.refSpec(name))
+		cr := l.R.Submit(l.crispSpec(name, crisp.DefaultOptions()))
+		rows = append(rows,
+			rowSource{name + "/ooo", breakdownCells(width, base)},
+			rowSource{name + "/crisp", breakdownCells(width, cr)})
+	}
+	return pending(t, rows, func(t *Table) {
+		// Quote the headline effect per workload: the DRAM-bound share
+		// under the baseline vs under CRISP (column 5, rows in ooo/crisp
+		// pairs).
+		const dramCol = 5
+		for i := 0; i+1 < len(t.Rows); i += 2 {
+			ooo, cr := t.Rows[i], t.Rows[i+1]
+			t.Notes = append(t.Notes, fmt.Sprintf("%s mem_dram slots: ooo %.1f%% -> crisp %.1f%%",
+				ooo.Label[:len(ooo.Label)-len("/ooo")], ooo.Cells[dramCol], cr.Cells[dramCol]))
+		}
+	})
+}
+
+// breakdownCells resolves one run into percentage cells, failing if the
+// breakdown does not partition the run's commit slots exactly.
+func breakdownCells(width int, h *runner.RunHandle) func(ctx context.Context) ([]float64, error) {
+	return func(ctx context.Context) ([]float64, error) {
+		r, err := h.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		b := &r.Breakdown
+		slots := r.Cycles * uint64(width)
+		if total := b.Total(); total != slots {
+			return nil, fmt.Errorf("harness: cycle-accounting drift: buckets sum to %d, want Cycles×CommitWidth = %d", total, slots)
+		}
+		if b.Committed != r.Insts {
+			return nil, fmt.Errorf("harness: cycle-accounting drift: %d committed slots vs %d retired µops", b.Committed, r.Insts)
+		}
+		pct := func(v uint64) float64 { return float64(v) / float64(slots) * 100 }
+		coreBound := b.Stalls[metrics.CoreROBFull] + b.Stalls[metrics.CoreRSFull] +
+			b.Stalls[metrics.CoreLQFull] + b.Stalls[metrics.CoreSQFull] +
+			b.Stalls[metrics.CorePort] + b.Stalls[metrics.CoreDep] + b.Stalls[metrics.CoreExec]
+		return []float64{
+			pct(b.Committed),
+			pct(b.Stalls[metrics.Frontend]),
+			pct(b.Stalls[metrics.BranchRedirect]),
+			pct(b.Stalls[metrics.MemL1]),
+			pct(b.Stalls[metrics.MemLLC]),
+			pct(b.Stalls[metrics.MemDRAM]),
+			pct(coreBound),
+		}, nil
+	}
+}

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"crisp/internal/core"
+	"crisp/internal/metrics"
+	"crisp/internal/sim"
+)
+
+// RunRecord is one line of the metrics export: the identity of a resolved
+// timing run plus its cycle accounting and histograms. The JSONL stream
+// carries the record verbatim; the CSV stream flattens it to scalar
+// columns (bucket slot counts, histogram means and p99s).
+type RunRecord struct {
+	Workload  string            `json:"workload"`
+	Input     string            `json:"input"`
+	Sched     string            `json:"sched"`
+	Insts     uint64            `json:"insts"`
+	Key       string            `json:"key"`
+	Cached    bool              `json:"cached"`
+	Cycles    uint64            `json:"cycles"`
+	Committed uint64            `json:"committed"`
+	IPC       float64           `json:"ipc"`
+	Breakdown metrics.Breakdown `json:"breakdown"`
+	Hists     metrics.Hists     `json:"hists"`
+}
+
+// newRunRecord flattens a spec/result pair into a record.
+func newRunRecord(spec sim.RunSpec, res *core.Result, cached bool) RunRecord {
+	input := spec.Input
+	if input == "" {
+		input = sim.InputRef
+	}
+	sched := spec.Sched
+	if sched == "" {
+		sched = sim.SchedOOO
+	}
+	return RunRecord{
+		Workload:  spec.Workload,
+		Input:     input,
+		Sched:     sched,
+		Insts:     spec.Insts,
+		Key:       spec.Key(),
+		Cached:    cached,
+		Cycles:    res.Cycles,
+		Committed: res.Insts,
+		IPC:       res.IPC(),
+		Breakdown: res.Breakdown,
+		Hists:     res.Hists,
+	}
+}
+
+// metricsSink streams RunRecords to the files configured in Options. Each
+// unique run records once per process (the single-flight executor runs
+// the producing task once); files are opened in append mode so successive
+// sweeps accumulate.
+type metricsSink struct {
+	mu    sync.Mutex
+	jsonl *os.File
+	csv   *os.File
+}
+
+// newMetricsSink opens the configured outputs ("" disables a stream). A
+// fresh CSV file gets its header row immediately so even an empty sweep
+// leaves a parseable file.
+func newMetricsSink(jsonlPath, csvPath string) (*metricsSink, error) {
+	s := &metricsSink{}
+	if jsonlPath != "" {
+		f, err := os.OpenFile(jsonlPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("runner: open metrics jsonl: %w", err)
+		}
+		s.jsonl = f
+	}
+	if csvPath != "" {
+		f, err := os.OpenFile(csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.close()
+			return nil, fmt.Errorf("runner: open metrics csv: %w", err)
+		}
+		s.csv = f
+		if st, err := f.Stat(); err == nil && st.Size() == 0 {
+			fmt.Fprintln(f, strings.Join(csvHeader(), ","))
+		}
+	}
+	return s, nil
+}
+
+func (s *metricsSink) enabled() bool { return s != nil && (s.jsonl != nil || s.csv != nil) }
+
+// record appends one run to every open stream. Write failures are
+// reported once via the returned error chain at Close; a telemetry write
+// must never fail the simulation that produced it.
+func (s *metricsSink) record(rec RunRecord) {
+	if !s.enabled() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jsonl != nil {
+		if b, err := json.Marshal(rec); err == nil {
+			s.jsonl.Write(append(b, '\n'))
+		}
+	}
+	if s.csv != nil {
+		fmt.Fprintln(s.csv, strings.Join(csvRow(rec), ","))
+	}
+}
+
+func (s *metricsSink) close() error {
+	var firstErr error
+	for _, f := range []*os.File{s.jsonl, s.csv} {
+		if f != nil {
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	s.jsonl, s.csv = nil, nil
+	return firstErr
+}
+
+// csvHeader returns the flat column names: run identity, totals, one
+// slot-count column per stall bucket, then histogram summaries.
+func csvHeader() []string {
+	cols := []string{"workload", "input", "sched", "insts", "cached", "cycles", "committed", "ipc", "committed_frac"}
+	cols = append(cols, metrics.BucketNames()...)
+	return append(cols,
+		"load_lat_mean", "load_lat_p99",
+		"dram_lat_mean", "dram_lat_p99",
+		"mlp_mean",
+		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean")
+}
+
+func csvRow(rec RunRecord) []string {
+	row := []string{
+		rec.Workload, rec.Input, rec.Sched,
+		fmt.Sprintf("%d", rec.Insts),
+		fmt.Sprintf("%t", rec.Cached),
+		fmt.Sprintf("%d", rec.Cycles),
+		fmt.Sprintf("%d", rec.Committed),
+		fmt.Sprintf("%.6f", rec.IPC),
+		fmt.Sprintf("%.6f", rec.Breakdown.CommittedFrac()),
+	}
+	for _, n := range rec.Breakdown.Stalls {
+		row = append(row, fmt.Sprintf("%d", n))
+	}
+	h := &rec.Hists
+	return append(row,
+		fmt.Sprintf("%.3f", h.LoadLat.Mean()),
+		fmt.Sprintf("%d", h.LoadLat.Quantile(0.99)),
+		fmt.Sprintf("%.3f", h.DRAMLat.Mean()),
+		fmt.Sprintf("%d", h.DRAMLat.Quantile(0.99)),
+		fmt.Sprintf("%.3f", h.MLPAtMiss.Mean()),
+		fmt.Sprintf("%.3f", h.OccROB.Mean()),
+		fmt.Sprintf("%.3f", h.OccRS.Mean()),
+		fmt.Sprintf("%.3f", h.OccLQ.Mean()),
+		fmt.Sprintf("%.3f", h.OccSQ.Mean()),
+		fmt.Sprintf("%.3f", h.OccMSHR.Mean()))
+}

@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crisp/internal/core"
+)
+
+// TestMetricsExport: a runner with metrics streams configured writes one
+// JSONL record and one CSV row per resolved run, and the record carries
+// the exact cycle accounting of the result it describes.
+func TestMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	jl := filepath.Join(dir, "runs.jsonl")
+	cs := filepath.Join(dir, "runs.csv")
+	r := newRunner(t, Options{Workers: 2, MetricsJSONL: jl, MetricsCSV: cs})
+	res, err := r.Run(context.Background(), chaseSpec(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("jsonl has %d records, want 1", len(lines))
+	}
+	var rec RunRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("jsonl record does not parse: %v", err)
+	}
+	if rec.Workload != "pointerchase" || rec.Sched != "ooo" || rec.Input != "ref" || rec.Cached {
+		t.Errorf("record identity wrong: %+v", rec)
+	}
+	if rec.Cycles != res.Cycles || rec.Committed != res.Insts {
+		t.Errorf("record totals: cycles %d/%d committed %d/%d", rec.Cycles, res.Cycles, rec.Committed, res.Insts)
+	}
+	if rec.Breakdown != res.Breakdown || rec.Hists != res.Hists {
+		t.Error("cycle accounting did not survive the JSONL round trip")
+	}
+	w := uint64(core.DefaultConfig().CommitWidth)
+	if got := rec.Breakdown.Total(); got != rec.Cycles*w {
+		t.Errorf("record breakdown total %d != cycles×width %d", got, rec.Cycles*w)
+	}
+
+	f, err := os.Open(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	var rows [][]string
+	for sc.Scan() {
+		rows = append(rows, strings.Split(sc.Text(), ","))
+	}
+	if len(rows) != 2 {
+		t.Fatalf("csv has %d lines, want header + 1 row", len(rows))
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Errorf("csv header has %d columns, row has %d", len(rows[0]), len(rows[1]))
+	}
+	header := strings.Join(rows[0], ",")
+	for _, col := range []string{"workload", "mem_dram", "core_rob_full", "load_lat_mean", "occ_mshr_mean"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("csv header missing column %q", col)
+		}
+	}
+}
+
+// TestMetricsExportDisabled: the zero Options leave no sink; Close is a
+// no-op and running works as before.
+func TestMetricsExportDisabled(t *testing.T) {
+	r := newRunner(t, Options{Workers: 1})
+	if _, err := r.Run(context.Background(), chaseSpec(5_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

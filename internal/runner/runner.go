@@ -26,6 +26,12 @@ type Options struct {
 	// CacheDir, when non-empty, persists results there as JSON keyed by
 	// spec hash + code version; re-runs load them instead of simulating.
 	CacheDir string
+	// MetricsJSONL, when non-empty, appends one JSON record per resolved
+	// timing run (identity + cycle-accounting breakdown + histograms).
+	MetricsJSONL string
+	// MetricsCSV, when non-empty, appends the same records as flat CSV
+	// rows (bucket slot counts, histogram means/p99s).
+	MetricsCSV string
 }
 
 // Stats is a snapshot of the runner's progress counters.
@@ -44,6 +50,7 @@ type Runner struct {
 	ctx   context.Context
 	sem   chan struct{}
 	store *Store
+	sink  *metricsSink
 
 	mu    sync.Mutex
 	calls map[string]*call
@@ -71,13 +78,23 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	sink, err := newMetricsSink(opts.MetricsJSONL, opts.MetricsCSV)
+	if err != nil {
+		return nil, err
+	}
 	return &Runner{
 		ctx:   ctx,
 		sem:   make(chan struct{}, workers),
 		store: store,
+		sink:  sink,
 		calls: make(map[string]*call),
 	}, nil
 }
+
+// Close flushes and closes the metrics streams (no-op when none are
+// configured). The runner remains usable for simulation afterwards; only
+// metrics export stops.
+func (r *Runner) Close() error { return r.sink.close() }
 
 // Stats returns a snapshot of the progress counters. Started grows as
 // submitted specs resolve their dependencies, so Done/Started is a live

@@ -115,6 +115,9 @@ func TestDiskCache(t *testing.T) {
 	if len(cached.Loads) != len(warm.Loads) {
 		t.Fatalf("per-PC load profiles lost in round trip: %d vs %d", len(cached.Loads), len(warm.Loads))
 	}
+	if cached.Breakdown != warm.Breakdown || cached.Hists != warm.Hists {
+		t.Fatal("cycle accounting lost in disk round trip")
+	}
 
 	// The analysis was persisted as well: a warm pipeline request must
 	// not re-profile.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 )
 
 // Store is the persistent result cache: one JSON file per task, named by
@@ -43,6 +44,10 @@ func (s *Store) path(kind, key string) string {
 
 // Get loads the cached value for (kind, key) into v, reporting whether a
 // valid entry existed. Corrupt or unreadable entries count as misses.
+// Decoding goes through a fresh value of v's type: json.Unmarshal
+// populates fields as it parses and only then reports an error, so
+// decoding straight into v would let a truncated or corrupt entry leave
+// the caller's value half-written while Get reports a miss.
 func (s *Store) Get(kind, key string, v any) bool {
 	if s.dir == "" {
 		return false
@@ -51,7 +56,16 @@ func (s *Store) Get(kind, key string, v any) bool {
 	if err != nil {
 		return false
 	}
-	return json.Unmarshal(b, v) == nil
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return false
+	}
+	fresh := reflect.New(rv.Type().Elem())
+	if json.Unmarshal(b, fresh.Interface()) != nil {
+		return false
+	}
+	rv.Elem().Set(fresh.Elem())
+	return true
 }
 
 // Put persists v under (kind, key). The write is atomic (temp file +

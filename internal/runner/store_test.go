@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"os"
+	"testing"
+)
+
+type storedThing struct {
+	A, B int
+	Name string
+}
+
+// TestStoreCorruptEntry: a corrupt cache entry must count as a miss AND
+// leave the caller's value untouched. json.Unmarshal populates fields as
+// it decodes and only then reports type errors, so decoding straight into
+// the caller's value would hand back a half-overwritten struct alongside
+// the "miss" verdict.
+func TestStoreCorruptEntry(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(kindRun, "k", storedThing{A: 1, B: 2, Name: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with an entry whose A and Name decode fine before B hits a
+	// type error — the partial-population trap.
+	if err := os.WriteFile(s.path(kindRun, "k"), []byte(`{"A":999,"Name":"evil","B":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v := storedThing{A: 1, B: 2, Name: "keep"}
+	if s.Get(kindRun, "k", &v) {
+		t.Error("corrupt entry reported as a cache hit")
+	}
+	if (v != storedThing{A: 1, B: 2, Name: "keep"}) {
+		t.Errorf("corrupt entry mutated the caller's value: %+v", v)
+	}
+
+	// Truncated file (interrupted write without the atomic rename): also a
+	// clean miss.
+	if err := os.WriteFile(s.path(kindRun, "k"), []byte(`{"A":7,"Na`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(kindRun, "k", &v) {
+		t.Error("truncated entry reported as a cache hit")
+	}
+	if (v != storedThing{A: 1, B: 2, Name: "keep"}) {
+		t.Errorf("truncated entry mutated the caller's value: %+v", v)
+	}
+
+	// Non-pointer destinations are rejected, not panicked on.
+	if s.Get(kindRun, "k", storedThing{}) {
+		t.Error("non-pointer destination reported as a hit")
+	}
+
+	// And a valid entry still round-trips.
+	if err := s.Put(kindRun, "k2", storedThing{A: 5, B: 6, Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	var got storedThing
+	if !s.Get(kindRun, "k2", &got) || got != (storedThing{A: 5, B: 6, Name: "ok"}) {
+		t.Errorf("valid entry failed to round-trip: %+v", got)
+	}
+}

@@ -82,6 +82,7 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		var cached core.Result
 		if r.store.Get(kindRun, key, &cached) {
 			r.diskHits.Add(1)
+			r.sink.record(newRunRecord(spec, &cached, true))
 			return &cached, nil
 		}
 		var a *crisp.Analysis
@@ -106,6 +107,7 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		r.executed.Add(1)
 		// Cache-write failures only cost a future re-simulation.
 		_ = r.store.Put(kindRun, key, res)
+		r.sink.record(newRunRecord(spec, res, false))
 		return res, nil
 	}
 }
