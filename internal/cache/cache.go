@@ -70,9 +70,9 @@ type line struct {
 	valid      bool
 	dirty      bool
 	readyAt    uint64 // fill completion time (hit-under-fill)
-	lru        uint32
-	prefetched bool // filled by prefetch, not yet demand-referenced
-	fillDepth  int8 // levels below that served the fill
+	lru        uint64 // touch timestamp; 64-bit so it never wraps
+	prefetched bool   // filled by prefetch, not yet demand-referenced
+	fillDepth  int8   // levels below that served the fill
 }
 
 // Cache is one set-associative level.
@@ -81,7 +81,7 @@ type Cache struct {
 	sets     int
 	lineBits uint
 	lines    []line // sets*ways
-	lruClock uint32
+	lruClock uint64 // uint32 wrapped after ~4B touches, inverting LRU order
 	next     Backend
 	pf       Prefetcher
 	mshr     map[uint64]mshrEntry // line addr -> in-flight miss

@@ -288,3 +288,32 @@ func TestHierarchyWithRealDRAMLatencies(t *testing.T) {
 		t.Errorf("DRAM access done = %d, suspiciously slow", done)
 	}
 }
+
+// The LRU clock was a uint32: after ~4B touches it wrapped, giving newly
+// touched lines *smaller* timestamps than stale ones and inverting every
+// subsequent victim choice. Seed the clock at the old wrap point and check
+// the least-recently-used line is still the one evicted.
+func TestLRUClockWraparound(t *testing.T) {
+	mem := &flatMem{latency: 100}
+	c := small(mem)
+	c.lruClock = 1<<32 - 2 // A's touch gets the last value a uint32 could hold
+
+	// Three lines in the same 2-way set: A, then B (whose touch crosses the
+	// old uint32 boundary), then C, which must evict A — the oldest. With a
+	// wrapping clock B's timestamp would be 0, making B the victim instead.
+	const a, b2, c3 = 0x0000, 0x0200, 0x0400
+	c.AccessPC(1, a, false, 0)
+	c.AccessPC(1, b2, false, 1000)
+	c.AccessPC(1, c3, false, 2000)
+
+	if c.lruClock <= 1<<32-1 {
+		t.Fatalf("lruClock = %d, did not cross the old uint32 limit", c.lruClock)
+	}
+	if c.Contains(a) {
+		t.Errorf("line A resident: LRU victim selection inverted across clock wrap")
+	}
+	if !c.Contains(b2) || !c.Contains(c3) {
+		t.Errorf("resident lines: B=%v C=%v, want both (A should have been evicted)",
+			c.Contains(b2), c.Contains(c3))
+	}
+}

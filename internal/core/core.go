@@ -273,8 +273,12 @@ func (c *Core) commit() {
 		case isa.OpLoad:
 			c.lqCount--
 		case isa.OpStore:
-			// Drain the store buffer to the cache in the background.
-			c.hier.Data(uint64(e.d.PC), e.d.Addr, true, c.cycle)
+			// Drain the store buffer to the cache in the background. The
+			// drain carries no PC attribution: it is not a demand access by
+			// the store instruction, and attributing it would let store PCs
+			// reach the LLC miss observers (per-PC profiles, IBDA's
+			// delinquent load table, which must only ever hold loads).
+			c.hier.Data(cache.NoPC, e.d.Addr, true, c.cycle)
 			if c.sqCount == 0 || c.storeQ[c.sqHead] != e.seq {
 				panic("core: store queue out of sync at commit")
 			}
@@ -553,8 +557,12 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 
 	if e.mispredicted {
 		// The branch has resolved: the frontend refetches from the correct
-		// path after the redirect penalty.
-		c.fetchBlockedUntil = e.doneAt + uint64(c.cfg.RedirectPenalty)
+		// path after the redirect penalty. An in-force longer block (an
+		// icache miss still filling) must not be shortened by the redirect,
+		// so the later deadline wins.
+		if until := e.doneAt + uint64(c.cfg.RedirectPenalty); until > c.fetchBlockedUntil {
+			c.fetchBlockedUntil = until
+		}
 		if until := e.doneAt + uint64(c.cfg.RedirectPenalty); until > c.redirectUntil {
 			c.redirectUntil = until
 		}
@@ -660,14 +668,21 @@ func (c *Core) dispatch() {
 }
 
 // findForwardingStore returns the seq of the youngest older in-flight
-// store whose 8-byte access overlaps the load's, or -1. Addresses are
-// exact (oracle), modeling perfect memory disambiguation.
+// store whose 8-byte access fully covers the load's, or -1. Addresses
+// are exact (oracle), modeling perfect memory disambiguation. Accesses
+// are 8 bytes wide throughout, so cover means an exact address match; a
+// partially overlapping store cannot supply all of the load's bytes from
+// the store buffer, so the load falls through to the cache instead (no
+// merge network is modeled).
 func (c *Core) findForwardingStore(d *emu.DynInst) int64 {
 	for i := c.sqCount - 1; i >= 0; i-- {
 		se := c.robEntry(c.storeQ[(c.sqHead+i)%len(c.storeQ)])
 		delta := int64(d.Addr) - int64(se.d.Addr)
-		if delta < 8 && delta > -8 {
+		if delta == 0 {
 			return int64(se.seq)
+		}
+		if delta < 8 && delta > -8 {
+			return -1 // partial overlap: not forwardable
 		}
 	}
 	return -1
