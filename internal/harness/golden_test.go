@@ -41,6 +41,7 @@ func TestGoldenFigures(t *testing.T) {
 		l.Figure11(),
 		l.Figure12(),
 		l.PrefetcherSensitivity(),
+		l.CycleAccounting(),
 	}
 	var b strings.Builder
 	for _, p := range pendings {
