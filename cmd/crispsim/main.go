@@ -47,6 +47,9 @@ func run() int {
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		list       = flag.Bool("list", false, "list workloads and exit")
 		verbose    = flag.Bool("v", false, "print per-load profiles of the hottest loads")
+		sampled    = flag.Bool("sampled", false, "sample: fast-forward with functional warming, simulate short detailed windows (schedule from -insts)")
+		windows    = flag.Int("windows", 0, "with -sampled: detailed window count (0 = auto)")
+		window     = flag.Uint64("window", 0, "with -sampled: instructions per detailed window (0 = auto)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,24 @@ func run() int {
 	}
 
 	spec := sim.RunSpec{Workload: *name, Input: sim.InputRef, Insts: *insts, RS: *rs, ROB: *rob}
+	if *sampled {
+		s := sim.AutoSampling(*insts)
+		if *windows > 0 {
+			s.Count = *windows
+		}
+		if *window > 0 {
+			s.Window = *window
+		}
+		// Keep the budget at -insts: the rest of each window's share is
+		// continuous functional warming.
+		per := *insts / uint64(s.Count)
+		s.Warm = 0
+		if per > s.Window {
+			s.Warm = per - s.Window
+		}
+		spec.Insts = 0
+		spec.Sampling = &s
+	}
 	switch *sched {
 	case "ooo":
 		spec.Sched = sim.SchedOOO
@@ -107,6 +128,11 @@ func run() int {
 	}
 
 	fmt.Println(sim.Describe(*name+"/"+*sched, res))
+	if res.SampledWindows > 0 {
+		fmt.Printf("sampled: %d detailed windows (%d insts) + %d insts fast-forwarded; host %.0fms detailed + %.0fms capture\n",
+			res.SampledWindows, res.Insts, res.FFInsts,
+			float64(res.HostNS)/1e6, float64(res.HostFFNS)/1e6)
+	}
 	fmt.Printf("ROB head stalls %d (%.1f%% of cycles), fetch stalls %d, DRAM reads %d (avg %.0f cyc)\n",
 		res.ROBHeadStalls, float64(res.ROBHeadStalls)/float64(res.Cycles)*100,
 		res.FetchStallCycle, res.DRAMReads, res.DRAMAvgLat)

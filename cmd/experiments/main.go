@@ -45,7 +45,7 @@ func main() {
 
 func run() int {
 	var (
-		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles")
+		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles, sampling")
 		table      = flag.String("table", "", "table to run: 1")
 		all        = flag.Bool("all", false, "run every experiment")
 		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
@@ -125,6 +125,7 @@ func run() int {
 	defer r.Close()
 	lab := harness.NewLabWithRunner(*insts, r)
 	lab.Only = onlyNames
+	lab.HostNotes = !*csv
 
 	wantFig := func(name string) bool { return *all || *fig == name }
 
@@ -151,6 +152,7 @@ func run() int {
 		{"12", lab.Figure12},
 		{"pf", lab.PrefetcherSensitivity},
 		{"cycles", lab.CycleAccounting},
+		{"sampling", lab.SamplingValidation},
 	} {
 		if wantFig(f.name) {
 			figures = append(figures, pendingFigure{p: f.build(), start: time.Now()})
@@ -197,6 +199,10 @@ func run() int {
 	if simInsts, simNS := sim.HostTotals(); simNS > 0 && !*csv {
 		fmt.Printf("# host throughput: %.2f simulated MIPS (%d insts in %.1fs of core.Run)\n",
 			float64(simInsts)*1e3/float64(simNS), simInsts, float64(simNS)/1e9)
+	}
+	if ffInsts, ffNS := sim.HostFFTotals(); ffNS > 0 && !*csv {
+		fmt.Printf("# fast-forward: %.2f functional MIPS (%d insts in %.1fs of checkpoint capture)\n",
+			float64(ffInsts)*1e3/float64(ffNS), ffInsts, float64(ffNS)/1e9)
 	}
 	if s := r.Stats(); s.DiskHits > 0 && !*csv {
 		fmt.Printf("# cache: %d results loaded from %s, %d simulations executed\n",

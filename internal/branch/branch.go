@@ -163,6 +163,18 @@ func (b *BTB) touch(base, way int) {
 // Stats returns hit and miss counts.
 func (b *BTB) Stats() (hits, misses uint64) { return b.hits, b.miss }
 
+// Clone returns a deep copy of the BTB's warmed contents with zeroed
+// hit/miss counters (warming must not pollute measured-window stats).
+func (b *BTB) Clone() *BTB {
+	return &BTB{
+		sets: b.sets, ways: b.ways,
+		tags:    append([]uint64(nil), b.tags...),
+		valid:   append([]bool(nil), b.valid...),
+		targets: append([]int(nil), b.targets...),
+		lru:     append([]uint8(nil), b.lru...),
+	}
+}
+
 // RAS is a return address stack. Overflow wraps (oldest entries are
 // clobbered), underflow mispredicts, as in real hardware.
 type RAS struct {
@@ -191,4 +203,9 @@ func (r *RAS) Pop() (retPC int, ok bool) {
 	r.depth--
 	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
 	return r.stack[r.top], true
+}
+
+// Clone returns a deep copy of the stack.
+func (r *RAS) Clone() *RAS {
+	return &RAS{stack: append([]int(nil), r.stack...), top: r.top, depth: r.depth}
 }

@@ -62,6 +62,13 @@ func (f *folded) update(newBit, evictedBit uint64) {
 // tageHistLens are the geometric history lengths of the tagged components.
 var tageHistLens = []int{4, 8, 16, 32, 64, 130}
 
+// Default TAGE geometry used by the core frontend and by checkpoint
+// warming (which must build an identically-shaped predictor).
+const (
+	DefaultTAGELogBase   = 13
+	DefaultTAGELogTagged = 11
+)
+
 // NewTAGE returns a TAGE predictor with a 2^logBase bimodal base table and
 // 2^logTagged entries per tagged component.
 func NewTAGE(logBase, logTagged int) *TAGE {
@@ -235,6 +242,22 @@ func (t *TAGE) pushHistory(taken bool) {
 		tbl.tagFold2.update(newBit, evicted)
 	}
 	t.histPos = (t.histPos + 1) % len(t.hist)
+}
+
+// Clone returns a deep copy of the predictor: trained tables, folded
+// history registers and allocation RNG all carry over, so a clone
+// restored into a detailed window predicts exactly as the warmed
+// original would, without sharing any mutable state.
+func (t *TAGE) Clone() *TAGE {
+	cl := *t
+	cl.base = append([]int8(nil), t.base...)
+	cl.hist = append([]uint8(nil), t.hist...)
+	cl.tables = make([]tageTable, len(t.tables))
+	for i, tbl := range t.tables {
+		tbl.entries = append([]tageEntry(nil), tbl.entries...)
+		cl.tables[i] = tbl
+	}
+	return &cl
 }
 
 // MispredictRate returns the fraction of mispredicted calls so far.

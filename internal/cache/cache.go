@@ -57,6 +57,20 @@ type Stats struct {
 	MSHRStalls   uint64 // cycles added waiting for a free MSHR
 }
 
+// Add accumulates another level snapshot into s (sampled-window
+// aggregation).
+func (s *Stats) Add(o *Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.MergedMisses += o.MergedMisses
+	s.Writebacks += o.Writebacks
+	s.Prefetches += o.Prefetches
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchLate += o.PrefetchLate
+	s.MSHRStalls += o.MSHRStalls
+}
+
 // MissRate returns misses (incl. merged) / accesses.
 func (s *Stats) MissRate() float64 {
 	if s.Accesses == 0 {
@@ -331,6 +345,92 @@ func (c *Cache) MSHROccupancy(cycle uint64) int {
 		}
 	}
 	return n
+}
+
+// Warm touches the line holding addr without any timing or statistics:
+// a hit refreshes LRU (and dirtiness on a write), a miss installs the
+// line ready-at-cycle-0 over the LRU victim, dropping any dirty victim
+// silently (tags only — data lives in emu.Memory). It reports whether
+// the line was already resident so hierarchy warming can recurse into
+// the next level only on a miss. Used by the sampled-simulation
+// functional-warming phase, which precedes the measured window.
+func (c *Cache) Warm(addr uint64, write bool) bool {
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			if write {
+				ln.dirty = true
+			}
+			c.touch(ln)
+			return true
+		}
+	}
+	// Same victim choice as fill: first invalid way, else LRU.
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < c.lines[base+victim].lru {
+			victim = w
+		}
+	}
+	v := &c.lines[base+victim]
+	*v = line{tag: la, valid: true, dirty: write}
+	c.touch(v)
+	return false
+}
+
+// WarmPrefetch is the warming counterpart of Prefetch: it installs addr's
+// line if absent (same victim choice as fill) and reports whether it was
+// already present. Unlike Warm it does not promote a present line,
+// mirroring Prefetch's early return on a duplicate suggestion.
+func (c *Cache) WarmPrefetch(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			return true
+		}
+	}
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if ln.lru < c.lines[base+victim].lru {
+			victim = w
+		}
+	}
+	v := &c.lines[base+victim]
+	*v = line{tag: la, valid: true}
+	c.touch(v)
+	return false
+}
+
+// CloneState returns a copy of this level's warmed tag/LRU state wired in
+// front of next, with fresh (empty) MSHRs, no prefetcher, no miss
+// observer, and zeroed statistics. Checkpoint restore clones the warmed
+// template once per detailed window so configs sharing a checkpoint never
+// see each other's mutations.
+func (c *Cache) CloneState(next Backend) *Cache {
+	cl := &Cache{
+		cfg:      c.cfg,
+		sets:     c.sets,
+		lineBits: c.lineBits,
+		lines:    append([]line(nil), c.lines...),
+		lruClock: c.lruClock,
+		next:     next,
+		mshr:     make(map[uint64]mshrEntry),
+	}
+	return cl
 }
 
 // Contains reports whether the line holding addr is resident (test hook).

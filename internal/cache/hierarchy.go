@@ -51,6 +51,8 @@ type Hierarchy struct {
 	LLC *Cache
 	Mem *dram.DRAM
 
+	cfg HierConfig
+
 	// outstanding completion cycles of in-flight DRAM-served loads, used
 	// to approximate memory-level parallelism at miss time (Section 3.2).
 	outstanding []uint64
@@ -65,6 +67,56 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 		L1D: New(cfg.L1D, llc),
 		LLC: llc,
 		Mem: mem,
+		cfg: cfg,
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierConfig { return h.cfg }
+
+// WarmData warms the data path for addr: a tags-only touch of L1D,
+// recursing into the LLC on an L1D miss. No timing, no statistics. It
+// reports whether L1D already held the line, which checkpoint capture
+// feeds to prefetcher training as the hit flag.
+func (h *Hierarchy) WarmData(addr uint64, write bool) (l1hit bool) {
+	if h.L1D.Warm(addr, write) {
+		return true
+	}
+	h.LLC.Warm(addr, write)
+	return false
+}
+
+// WarmPrefetch installs a prefetched line tags-only into L1D (and into
+// the LLC when L1D did not already hold it), mirroring where a demand-
+// level prefetch fill would land. Checkpoint capture uses it so a warmed
+// variant's cache content includes the prefetched-line population that
+// dedups most suggestions in a steady-state detailed run.
+func (h *Hierarchy) WarmPrefetch(addr uint64) {
+	if !h.L1D.WarmPrefetch(addr) {
+		h.LLC.WarmPrefetch(addr)
+	}
+}
+
+// WarmInst warms the instruction path for the code line at addr.
+func (h *Hierarchy) WarmInst(addr uint64) {
+	if !h.L1I.Warm(addr, false) {
+		h.LLC.Warm(addr, false)
+	}
+}
+
+// Clone returns a hierarchy carrying this one's warmed tag/LRU state over
+// fresh timing state: empty MSHRs, a fresh DRAM, no prefetchers or miss
+// observers, zeroed statistics. Each detailed sampling window restores
+// into its own clone.
+func (h *Hierarchy) Clone() *Hierarchy {
+	mem := dram.New(h.cfg.DRAM)
+	llc := h.LLC.CloneState(mem)
+	return &Hierarchy{
+		L1I: h.L1I.CloneState(llc),
+		L1D: h.L1D.CloneState(llc),
+		LLC: llc,
+		Mem: mem,
+		cfg: h.cfg,
 	}
 }
 

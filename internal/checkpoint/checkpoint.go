@@ -1,0 +1,248 @@
+// Package checkpoint implements the sampled-simulation checkpoint layer:
+// one functional fast-forward pass over a workload produces a Set of
+// Points, each snapshotting architectural state (PC, registers,
+// copy-on-write memory pages) plus warmed long-lived microarchitectural
+// state (cache tags, TAGE, BTB, RAS, prefetcher training) at a
+// detailed-window start.
+//
+// The Set is the unit of cross-config sharing: the ooo/crisp/random
+// scheduler configs (and every prefetcher variant) of one workload
+// restore from the same Set, so the functional prefix that full-detail
+// simulation repeats per config is executed exactly once. Restores hand
+// out fresh clones, so concurrent runs never observe each other's
+// mutations.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crisp/internal/branch"
+	"crisp/internal/cache"
+	"crisp/internal/emu"
+	"crisp/internal/isa"
+	"crisp/internal/prefetch"
+	"crisp/internal/program"
+)
+
+// Params describes the sampling schedule: Count windows, each preceded by
+// a Skip phase (pure fast-forward, no warming) and a Warm phase
+// (fast-forward streaming into cache-tag, branch-predictor, and
+// prefetcher warming), followed by a Window-instruction detailed region.
+// The detailed region is also executed functionally (with warming) by the
+// capture pass so the next window's state includes it.
+type Params struct {
+	Skip   uint64
+	Warm   uint64
+	Window uint64
+	Count  int
+}
+
+// Total returns the instruction budget the schedule covers.
+func (p Params) Total() uint64 { return (p.Skip + p.Warm + p.Window) * uint64(p.Count) }
+
+// Variant is the warmed state that depends on the prefetcher
+// configuration: the cache hierarchy (prefetched lines change cache
+// content, and resident prefetched lines are what dedups most later
+// suggestions in a steady-state run) and the prefetcher's own training
+// state (BOP in particular converges over thousands of training misses,
+// so a cold instance inside a short window badly overstates prefetch
+// traffic). Branch-predictor and architectural state are
+// prefetcher-independent and live on the Point directly.
+type Variant struct {
+	Hier *cache.Hierarchy
+	PF   prefetch.Prefetcher // nil when the kind runs without a prefetcher
+}
+
+// Point is one restorable checkpoint: the architectural and warmed
+// microarchitectural state at a detailed-window start. Its fields are
+// immutable templates after capture — Restore clones them — so one Point
+// may serve any number of concurrent detailed runs.
+type Point struct {
+	PC   int
+	Regs [isa.NumRegs]int64
+	Mem  *emu.Memory // copy-on-write snapshot; never written directly
+
+	Variants map[string]*Variant // warmed caches+prefetcher per kind
+	BP       *branch.TAGE
+	BTB      *branch.BTB
+	RAS      *branch.RAS
+
+	FFInsts uint64 // instructions executed functionally to reach this point
+}
+
+// Restored is the per-run state handed out by Point.Restore: fresh copies
+// the detailed window may mutate freely. The hierarchy carries the warmed
+// tag/LRU state of the requested prefetcher variant, with a clone of that
+// variant's warmed prefetcher already attached.
+type Restored struct {
+	Em   *emu.Emulator
+	Hier *cache.Hierarchy
+	BP   *branch.TAGE
+	BTB  *branch.BTB
+	RAS  *branch.RAS
+}
+
+// Restore clones the checkpoint's pfKind variant for one detailed window
+// over prog. The program must be position-identical to the one the
+// checkpoint was captured with (CRISP's critical-tagged clone qualifies:
+// tags do not change functional behaviour or instruction addresses).
+//
+// Safe for concurrent use: the point's memory snapshot is pristine (all
+// pages shared), so re-snapshotting it performs no writes, and the
+// structure clones only read their templates.
+func (p *Point) Restore(prog *program.Program, pfKind string) (Restored, error) {
+	v := p.Variants[pfKind]
+	if v == nil {
+		return Restored{}, fmt.Errorf("checkpoint: no warmed variant for prefetcher kind %q", pfKind)
+	}
+	hier := v.Hier.Clone()
+	if v.PF != nil {
+		hier.L1D.SetPrefetcher(prefetch.Clone(v.PF))
+	}
+	return Restored{
+		Em:   emu.Resume(prog, p.Mem.Snapshot(), p.PC, p.Regs),
+		Hier: hier,
+		BP:   p.BP.Clone(),
+		BTB:  p.BTB.Clone(),
+		RAS:  p.RAS.Clone(),
+	}, nil
+}
+
+// Set is the product of one capture pass: the checkpoints of a
+// (workload, input, schedule) triple, plus the host cost of producing
+// them. Points may be fewer than Params.Count if the program halted.
+type Set struct {
+	Points []*Point
+	Hier   cache.HierConfig // geometry the caches were warmed with
+
+	FFInsts uint64 // total instructions executed functionally by the capture
+	HostNS  int64  // host wall time of the capture (fast-forward + snapshots)
+}
+
+// liveVariant is one prefetcher kind's warming state during capture.
+type liveVariant struct {
+	name string
+	hier *cache.Hierarchy
+	pf   prefetch.Prefetcher
+}
+
+// warmer streams the functional trace into the warming structures,
+// mirroring the core frontend's training policy (TAGE on conditionals,
+// BTB insert-on-miss for taken non-returns, RAS on call/ret) without
+// charging any statistics that the detailed window would report. Each
+// data access drives every variant: a tags-only demand touch, the
+// variant's prefetcher trained with the same (pc, addr, hit) triple the
+// detailed L1D would deliver, and the suggested lines installed
+// tags-only, so each variant's cache content includes the prefetched-line
+// population a steady-state run of that kind would hold.
+type warmer struct {
+	prog     *program.Program
+	variants []liveVariant
+	bp       *branch.TAGE
+	btb      *branch.BTB
+	ras      *branch.RAS
+}
+
+func (w *warmer) WarmInstLine(lineAddr uint64) {
+	for i := range w.variants {
+		w.variants[i].hier.WarmInst(lineAddr)
+	}
+}
+
+func (w *warmer) WarmData(pc int, addr uint64, store bool) {
+	pcv := uint64(pc)
+	if store {
+		pcv = cache.NoPC // stores reach the prefetcher unattributed
+	}
+	for i := range w.variants {
+		v := &w.variants[i]
+		hit := v.hier.WarmData(addr, store)
+		if v.pf == nil {
+			continue
+		}
+		for _, t := range v.pf.OnAccess(pcv, addr, hit) {
+			v.hier.WarmPrefetch(t)
+		}
+	}
+}
+
+func (w *warmer) WarmBranch(pc int, in *isa.Inst, taken bool, nextPC int) {
+	pcAddr := w.prog.ByteAddr(pc)
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		w.bp.PredictAndTrain(pcAddr, taken)
+	case isa.OpCall:
+		w.ras.Push(pc + 1)
+	case isa.OpRet:
+		w.ras.Pop()
+	}
+	if taken && in.Op != isa.OpRet {
+		if _, ok := w.btb.Lookup(pcAddr); !ok {
+			w.btb.Insert(pcAddr, nextPC)
+		}
+	}
+}
+
+// snapshot clones every variant into a Point-ready template map.
+func (w *warmer) snapshot() map[string]*Variant {
+	out := make(map[string]*Variant, len(w.variants))
+	for i := range w.variants {
+		v := &w.variants[i]
+		sv := &Variant{Hier: v.hier.Clone()}
+		if v.pf != nil {
+			sv.PF = prefetch.Clone(v.pf)
+		}
+		out[v.name] = sv
+	}
+	return out
+}
+
+// Capture runs the single functional pass over em (an emulator positioned
+// at the workload entry with its image loaded) and returns the checkpoint
+// Set for the given schedule. Warming state is continuous across the
+// whole pass — skip phases advance without warming, warm and window
+// phases stream into it — so later windows see the accumulated history a
+// real execution would have. btbEntries/btbWays/rasEntries size the
+// warmed frontend structures and must match the core configuration that
+// will restore them; pfs supplies one fresh prefetcher per configuration
+// kind (nil for a kind that runs without one), each warmed against its
+// own cache hierarchy (the instances are trained in place).
+func Capture(prog *program.Program, em *emu.Emulator, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs map[string]prefetch.Prefetcher, p Params) *Set {
+	start := time.Now()
+	w := &warmer{
+		prog: prog,
+		bp:   branch.NewTAGE(branch.DefaultTAGELogBase, branch.DefaultTAGELogTagged),
+		btb:  branch.NewBTB(btbEntries, btbWays),
+		ras:  branch.NewRAS(rasEntries),
+	}
+	for name, pf := range pfs {
+		w.variants = append(w.variants, liveVariant{name: name, hier: cache.NewHierarchy(hcfg), pf: pf})
+	}
+	sort.Slice(w.variants, func(i, j int) bool { return w.variants[i].name < w.variants[j].name })
+	set := &Set{Hier: hcfg}
+	for i := 0; i < p.Count; i++ {
+		set.FFInsts += em.FastForward(p.Skip, nil)
+		set.FFInsts += em.FastForward(p.Warm, w)
+		if em.Done() {
+			break
+		}
+		set.Points = append(set.Points, &Point{
+			PC:       em.PC(),
+			Regs:     em.Regs(),
+			Mem:      em.Mem().Snapshot(),
+			Variants: w.snapshot(),
+			BP:       w.bp.Clone(),
+			BTB:      w.btb.Clone(),
+			RAS:      w.ras.Clone(),
+			FFInsts:  set.FFInsts,
+		})
+		// Execute the window region functionally too (with warming): the
+		// detailed run covers it from the restored state, and the next
+		// checkpoint's state must include it.
+		set.FFInsts += em.FastForward(p.Window, w)
+	}
+	set.HostNS = time.Since(start).Nanoseconds()
+	return set
+}

@@ -154,7 +154,7 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 	if cfg.PerfectBP {
 		c.bp = branch.Perfect{}
 	} else {
-		c.bp = branch.NewTAGE(13, 11)
+		c.bp = branch.NewTAGE(branch.DefaultTAGELogBase, branch.DefaultTAGELogTagged)
 	}
 	for i := range c.regProd {
 		c.regProd[i] = -1
@@ -201,6 +201,22 @@ func (c *Core) nextRand() uint64 {
 // cycles during Run; when it returns true the simulation stops early and
 // Run returns the partial statistics. It must be set before Run.
 func (c *Core) SetCancelCheck(f func() bool) { c.cancelCheck = f }
+
+// SetBranchState replaces the core's frontend prediction structures with
+// pre-warmed ones (checkpoint restore for sampled simulation). Nil
+// arguments keep the structures New built. Must be called before Run.
+// Callers pass clones: the core trains these during the window.
+func (c *Core) SetBranchState(bp branch.Predictor, btb *branch.BTB, ras *branch.RAS) {
+	if bp != nil {
+		c.bp = bp
+	}
+	if btb != nil {
+		c.btb = btb
+	}
+	if ras != nil {
+		c.ras = ras
+	}
+}
 
 // Run simulates to completion and returns the results.
 func (c *Core) Run() *Result {

@@ -109,6 +109,79 @@ type Result struct {
 	// other's counts; per-run numbers are exact only single-threaded.
 	HostNS     int64  // wall-clock nanoseconds spent inside Run
 	HostAllocs uint64 // heap allocations observed during Run
+
+	// Sampled simulation: set only on results aggregated from detailed
+	// windows over checkpointed state. FFInsts/HostFFNS are the size and
+	// host cost of the functional fast-forward that produced the
+	// checkpoint set; the capture is shared by every config of the
+	// workload, so per-run speedup numbers that include HostFFNS are
+	// conservative (the real saving is larger when ≥2 configs share it).
+	SampledWindows int    `json:",omitempty"` // detailed windows aggregated (0 = full detail)
+	FFInsts        uint64 `json:",omitempty"` // instructions fast-forwarded functionally
+	HostFFNS       int64  `json:",omitempty"` // host ns spent fast-forwarding + checkpointing
+}
+
+// Merge folds another window's result into r: counters, breakdowns,
+// histograms, cache/DRAM stats and per-PC profiles all accumulate.
+// Sampling aggregation uses it across equal-length windows, so plain
+// summation is the weighted aggregate. The sampling and host fast-forward
+// fields are left untouched (they describe the whole set, not a window).
+func (r *Result) Merge(o *Result) {
+	r.Cycles += o.Cycles
+	r.Insts += o.Insts
+	r.BranchExecs += o.BranchExecs
+	r.BranchMispreds += o.BranchMispreds
+	r.BTBMisses += o.BTBMisses
+	r.FetchStallCycle += o.FetchStallCycle
+	r.ROBHeadStalls += o.ROBHeadStalls
+	r.LoadExecs += o.LoadExecs
+	r.StoreExecs += o.StoreExecs
+	r.CriticalExecs += o.CriticalExecs
+	r.IssuedCritical += o.IssuedCritical
+	r.QueueJumpSum += o.QueueJumpSum
+	r.Breakdown.Add(&o.Breakdown)
+	r.Hists.Add(&o.Hists)
+	r.L1I.Add(&o.L1I)
+	r.L1D.Add(&o.L1D)
+	r.LLC.Add(&o.LLC)
+	if total := r.DRAMReads + o.DRAMReads; total > 0 {
+		r.DRAMAvgLat = (r.DRAMAvgLat*float64(r.DRAMReads) + o.DRAMAvgLat*float64(o.DRAMReads)) / float64(total)
+	}
+	r.DRAMReads += o.DRAMReads
+	if r.Loads == nil {
+		r.Loads = make(map[int]*LoadProf)
+	}
+	for pc, p := range o.Loads {
+		if mine, ok := r.Loads[pc]; ok {
+			mine.Count += p.Count
+			mine.L1Miss += p.L1Miss
+			mine.LLCMiss += p.LLCMiss
+			mine.TotalLat += p.TotalLat
+			mine.MLPSum += p.MLPSum
+			mine.HeadStall += p.HeadStall
+			mine.Forwards += p.Forwards
+			mine.LatHist.Add(&p.LatHist)
+		} else {
+			cp := *p
+			r.Loads[pc] = &cp
+		}
+	}
+	if r.Branches == nil {
+		r.Branches = make(map[int]*BranchProf)
+	}
+	for pc, p := range o.Branches {
+		if mine, ok := r.Branches[pc]; ok {
+			mine.Count += p.Count
+			mine.Mispred += p.Mispred
+			mine.Taken += p.Taken
+		} else {
+			cp := *p
+			r.Branches[pc] = &cp
+		}
+	}
+	r.UPCWindows = append(r.UPCWindows, o.UPCWindows...)
+	r.HostNS += o.HostNS
+	r.HostAllocs += o.HostAllocs
 }
 
 // HostMIPS returns simulated million-instructions per host second.

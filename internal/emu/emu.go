@@ -43,8 +43,18 @@ const (
 // direct-mapped cache before falling back to the map, so the common
 // sequential- and strided-access cases skip hashing entirely. Pages are
 // never deallocated, so cached translations need no invalidation.
+//
+// Snapshot forks the memory copy-on-write: after a snapshot both sides
+// share page storage, and the first write to a shared page (on either
+// side) copies it first, so checkpointed state stays pristine while the
+// fast-forwarding emulator and restored runs keep executing.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	// cow marks pages shared with a snapshot: they must be copied before
+	// the first write. Nil/empty for memories that were never forked, so
+	// the write path pays only a len check.
+	cow map[uint64]struct{}
 
 	lastPN uint64
 	lastPg *[pageSize]byte
@@ -55,6 +65,35 @@ type Memory struct {
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory { return &Memory{pages: make(map[uint64]*[pageSize]byte)} }
+
+// Snapshot forks the memory copy-on-write and returns the fork. Page
+// storage is shared until either side writes a shared page, which copies
+// it first. The snapshot is immediately usable (and itself snapshotable:
+// checkpoint restore snapshots the checkpointed image once per run).
+//
+// Concurrency: a memory whose pages are all already marked shared — any
+// memory returned by Snapshot, as long as it has not been written or
+// executed since — is not mutated here, so concurrent Snapshot calls on
+// the same pristine checkpoint image are safe.
+func (m *Memory) Snapshot() *Memory {
+	cl := &Memory{
+		pages: make(map[uint64]*[pageSize]byte, len(m.pages)),
+		cow:   make(map[uint64]struct{}, len(m.pages)),
+	}
+	for pn, p := range m.pages {
+		cl.pages[pn] = p
+		cl.cow[pn] = struct{}{}
+	}
+	for pn := range m.pages {
+		if _, shared := m.cow[pn]; !shared {
+			if m.cow == nil {
+				m.cow = make(map[uint64]struct{}, len(m.pages))
+			}
+			m.cow[pn] = struct{}{}
+		}
+	}
+	return cl
+}
 
 func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
 	pn := addr >> pageShift
@@ -85,6 +124,30 @@ func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
 	return p
 }
 
+// pageW resolves addr's page for writing, copying it first if it is
+// shared with a snapshot. Memories that were never forked pay only the
+// len(m.cow) check. The copy refreshes any cached translations so stale
+// shared-page pointers can never be written through.
+func (m *Memory) pageW(addr uint64) *[pageSize]byte {
+	if len(m.cow) != 0 {
+		pn := addr >> pageShift
+		if _, shared := m.cow[pn]; shared {
+			np := new([pageSize]byte)
+			*np = *m.pages[pn]
+			m.pages[pn] = np
+			delete(m.cow, pn)
+			if idx := pn & pcacheMask; m.pcachePN[idx] == pn+1 {
+				m.pcachePg[idx] = np
+			}
+			if m.lastPg != nil && m.lastPN == pn {
+				m.lastPg = np
+			}
+			return np
+		}
+	}
+	return m.page(addr, true)
+}
+
 // ReadWord reads the 8-byte little-endian word at addr (may straddle a
 // page boundary).
 func (m *Memory) ReadWord(addr uint64) int64 {
@@ -105,7 +168,7 @@ func (m *Memory) ReadWord(addr uint64) int64 {
 // WriteWord writes the 8-byte little-endian word v at addr.
 func (m *Memory) WriteWord(addr uint64, v int64) {
 	if off := addr & pageMask; off <= pageSize-8 {
-		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], uint64(v))
+		binary.LittleEndian.PutUint64(m.pageW(addr)[off:], uint64(v))
 		return
 	}
 	u := uint64(v)
@@ -126,7 +189,7 @@ func (m *Memory) WriteWords(addr uint64, vals []int64) {
 			vals = vals[1:]
 			continue
 		}
-		p := m.page(addr, true)
+		p := m.pageW(addr)
 		n := int((pageSize - off) / 8)
 		if n > len(vals) {
 			n = len(vals)
@@ -177,7 +240,7 @@ func (m *Memory) readByte(addr uint64) byte {
 }
 
 func (m *Memory) writeByte(addr uint64, b byte) {
-	m.page(addr, true)[addr&pageMask] = b
+	m.pageW(addr)[addr&pageMask] = b
 }
 
 // Pages returns the number of resident pages (for footprint reporting).
@@ -203,11 +266,25 @@ func New(prog *program.Program, mem *Memory) *Emulator {
 	return &Emulator{prog: prog, mem: mem}
 }
 
+// Resume returns an emulator positioned mid-program: at pc with the given
+// architectural register file over mem. Checkpoint restore uses it to
+// start detailed windows from fast-forwarded state.
+func Resume(prog *program.Program, mem *Memory, pc int, regs [isa.NumRegs]int64) *Emulator {
+	e := New(prog, mem)
+	e.pc = pc
+	e.regs = regs
+	return e
+}
+
 // Mem returns the emulator's data memory.
 func (e *Emulator) Mem() *Memory { return e.mem }
 
 // Reg returns the current architectural value of r.
 func (e *Emulator) Reg(r isa.Reg) int64 { return e.regs[r] }
+
+// Regs returns a copy of the architectural register file (for
+// checkpointing).
+func (e *Emulator) Regs() [isa.NumRegs]int64 { return e.regs }
 
 // SetReg sets an architectural register (used by workload setup to pass
 // base pointers and sizes).
@@ -349,6 +426,61 @@ func (e *Emulator) Run(limit uint64) uint64 {
 			break
 		}
 		n++
+	}
+	return n
+}
+
+// Warmer observes the functional instruction stream during FastForward so
+// long-lived microarchitectural structures (cache tags, branch predictor,
+// BTB, RAS) can be warmed without any core timing. Implementations must
+// not charge statistics: warming precedes the measured detailed window.
+type Warmer interface {
+	// WarmInstLine is called once per executed 64B code line on a line
+	// change (not per instruction), with the line-aligned byte address.
+	WarmInstLine(lineAddr uint64)
+	// WarmData is called for every load and store with the executing
+	// instruction's PC (program index) and the effective address.
+	WarmData(pc int, addr uint64, store bool)
+	// WarmBranch is called for every control-flow instruction with its
+	// outcome and successor PC.
+	WarmBranch(pc int, in *isa.Inst, taken bool, nextPC int)
+}
+
+// FastForward executes up to limit instructions functionally (no core
+// timing), optionally streaming the access/branch trace into w, and
+// returns the number executed. With a nil warmer this is a plain
+// emulator-speed skip; with a warmer it is the functional-warming phase
+// of sampled simulation. A limit of 0 executes nothing.
+func (e *Emulator) FastForward(limit uint64, w Warmer) uint64 {
+	var n uint64
+	if w == nil {
+		for n < limit {
+			if _, ok := e.Step(); !ok {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	lastLine := ^uint64(0)
+	for n < limit {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		n++
+		if line := e.prog.ByteAddr(d.PC) &^ 63; line != lastLine {
+			lastLine = line
+			w.WarmInstLine(line)
+		}
+		switch op := d.Inst.Op; {
+		case op == isa.OpLoad:
+			w.WarmData(d.PC, d.Addr, false)
+		case op == isa.OpStore:
+			w.WarmData(d.PC, d.Addr, true)
+		case op.IsBranch():
+			w.WarmBranch(d.PC, d.Inst, d.Taken, d.NextPC)
+		}
 	}
 	return n
 }

@@ -206,3 +206,178 @@ func TestRunLimit(t *testing.T) {
 		t.Errorf("Done after limited run")
 	}
 }
+
+func TestMemoryWordsAcrossPages(t *testing.T) {
+	m := NewMemory()
+	// Batched writes and reads straddling a page boundary must agree with
+	// word-at-a-time access.
+	base := uint64(2*pageSize - 24)
+	vals := []int64{1, -2, 3, -4, 5, -6} // 48 bytes: 24 before, 24 after the boundary
+	m.WriteWords(base, vals)
+	got := make([]int64, len(vals))
+	m.ReadWords(base, got)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("ReadWords[%d] = %d, want %d", i, got[i], vals[i])
+		}
+		if w := m.ReadWord(base + uint64(8*i)); w != vals[i] {
+			t.Errorf("ReadWord(%#x) = %d, want %d", base+uint64(8*i), w, vals[i])
+		}
+	}
+}
+
+func TestMemoryReadWordsUnbacked(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0, 7) // back page 0 only
+	dst := []int64{99, 99, 99}
+	// Read straddles from backed page 0 into an unbacked page: the
+	// unbacked tail must come back zero, and no page may be allocated.
+	m.ReadWords(pageSize-8, dst)
+	if dst[0] != 0 || dst[1] != 0 || dst[2] != 0 {
+		t.Errorf("unbacked ReadWords = %v, want zeros", dst)
+	}
+	if m.Pages() != 1 {
+		t.Errorf("ReadWords allocated pages: %d", m.Pages())
+	}
+}
+
+func TestMemoryPageCacheAliasing(t *testing.T) {
+	m := NewMemory()
+	// Page numbers 1 and 1+pcacheSize map to the same translation-cache
+	// slot; interleaved access must not serve one page's data for the
+	// other.
+	a := uint64(1 * pageSize)
+	b := uint64((1 + pcacheSize) * pageSize)
+	m.WriteWord(a, 111)
+	m.WriteWord(b, 222)
+	for i := 0; i < 3; i++ {
+		if got := m.ReadWord(a); got != 111 {
+			t.Fatalf("aliased read a = %d, want 111", got)
+		}
+		if got := m.ReadWord(b); got != 222 {
+			t.Fatalf("aliased read b = %d, want 222", got)
+		}
+	}
+}
+
+func TestMemorySnapshotIsolation(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x1000, 1)
+	m.WriteWord(0x2000, 2)
+	snap := m.Snapshot()
+
+	// Writes on either side must not leak to the other, including via the
+	// page-translation caches populated before the snapshot.
+	m.WriteWord(0x1000, 10)
+	snap.WriteWord(0x2000, 20)
+	if got := snap.ReadWord(0x1000); got != 1 {
+		t.Errorf("snapshot saw parent write: %d", got)
+	}
+	if got := m.ReadWord(0x2000); got != 2 {
+		t.Errorf("parent saw snapshot write: %d", got)
+	}
+
+	// An untouched page stays shared and readable on both sides.
+	m.WriteWord(0x3000, 3)
+	if got := snap.ReadWord(0x3000); got != 0 {
+		t.Errorf("snapshot saw post-snapshot page: %d", got)
+	}
+}
+
+func TestMemorySnapshotOfSnapshot(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0, 42)
+	pristine := m.Snapshot()
+	// A pristine snapshot (never written) can be re-snapshotted; all
+	// three views remain independent for writes.
+	fork := pristine.Snapshot()
+	fork.WriteWord(0, 1)
+	m.WriteWord(0, 2)
+	if got := pristine.ReadWord(0); got != 42 {
+		t.Errorf("pristine = %d, want 42", got)
+	}
+}
+
+func TestFastForwardMatchesStep(t *testing.T) {
+	prog := sumProgram(t, 50)
+	ff := New(prog, nil)
+	st := New(prog, nil)
+	n := ff.FastForward(37, nil)
+	if n != 37 {
+		t.Fatalf("FastForward(37) = %d", n)
+	}
+	for i := 0; i < 37; i++ {
+		st.Step()
+	}
+	if ff.PC() != st.PC() || ff.Regs() != st.Regs() || ff.Done() != st.Done() {
+		t.Errorf("FastForward diverged from Step: pc %d vs %d", ff.PC(), st.PC())
+	}
+	// Finish both: same halt point.
+	ff.FastForward(1<<20, nil)
+	st.Run(0)
+	if ff.PC() != st.PC() || ff.Regs() != st.Regs() || !ff.Done() {
+		t.Errorf("post-halt state diverged")
+	}
+}
+
+// countWarmer records FastForward's warming callbacks.
+type countWarmer struct {
+	instLines map[uint64]bool
+	data      []uint64
+	stores    int
+	branches  int
+	taken     int
+}
+
+func (w *countWarmer) WarmInstLine(lineAddr uint64) {
+	if w.instLines == nil {
+		w.instLines = map[uint64]bool{}
+	}
+	w.instLines[lineAddr] = true
+}
+func (w *countWarmer) WarmData(pc int, addr uint64, store bool) {
+	w.data = append(w.data, addr)
+	if store {
+		w.stores++
+	}
+}
+func (w *countWarmer) WarmBranch(pc int, in *isa.Inst, taken bool, nextPC int) {
+	w.branches++
+	if taken {
+		w.taken++
+	}
+}
+
+func TestFastForwardWarmerStream(t *testing.T) {
+	b := program.NewBuilder("warm")
+	b.MovI(isa.R(1), 0x1000)
+	b.MovI(isa.R(2), 42)
+	b.MovI(isa.R(4), 0)
+	b.Label("loop")
+	b.Store(isa.R(1), 0, isa.R(2))
+	b.Load(isa.R(3), isa.R(1), 0)
+	b.AddI(isa.R(4), isa.R(4), 1)
+	b.MovI(isa.R(5), 3)
+	b.Blt(isa.R(4), isa.R(5), "loop")
+	b.Halt()
+	w := &countWarmer{}
+	e := New(b.MustBuild(), nil)
+	e.FastForward(1<<20, w)
+	if !e.Done() {
+		t.Fatal("program did not halt")
+	}
+	if len(w.data) != 6 || w.stores != 3 {
+		t.Errorf("data accesses = %d (stores %d), want 6 (3)", len(w.data), w.stores)
+	}
+	for _, a := range w.data {
+		if a != 0x1000 {
+			t.Errorf("data addr %#x, want 0x1000", a)
+		}
+	}
+	if w.branches != 3 || w.taken != 2 {
+		t.Errorf("branches = %d taken %d, want 3 taken 2", w.branches, w.taken)
+	}
+	if len(w.instLines) == 0 {
+		t.Errorf("no instruction lines warmed")
+	}
+}

@@ -42,6 +42,7 @@ func TestGoldenFigures(t *testing.T) {
 		l.Figure12(),
 		l.PrefetcherSensitivity(),
 		l.CycleAccounting(),
+		l.SamplingValidation(),
 	}
 	var b strings.Builder
 	for _, p := range pendings {

@@ -146,6 +146,9 @@ type Lab struct {
 	// Only, when non-empty, restricts suite figures to these workloads
 	// (used by tests and quick runs).
 	Only []string
+	// HostNotes enables wall-clock footnotes on figures that have them
+	// (nondeterministic, so golden comparisons leave it off).
+	HostNotes bool
 	// R is the shared executor.
 	R *runner.Runner
 }

@@ -47,6 +47,13 @@ func NewBOP() *BOP {
 	return b
 }
 
+func (b *BOP) clone() *BOP {
+	c := *b
+	c.rr = append([]uint64(nil), b.rr...)
+	c.scores = append([]int(nil), b.scores...)
+	return &c
+}
+
 func (b *BOP) rrInsert(line uint64) { b.rr[line&b.rrMask] = line }
 
 func (b *BOP) rrHit(line uint64) bool { return b.rr[line&b.rrMask] == line }
@@ -146,6 +153,20 @@ func NewGHB(size int) *GHB {
 		g.buf[i].id = -1
 	}
 	return g
+}
+
+func (g *GHB) clone() *GHB {
+	c := &GHB{
+		buf:   append([]ghbEntry(nil), g.buf...),
+		head:  g.head,
+		size:  g.size,
+		index: make(map[uint64]int, len(g.index)),
+		Depth: g.Depth,
+	}
+	for k, v := range g.index {
+		c.index[k] = v
+	}
+	return c
 }
 
 // OnAccess implements the prefetcher interface: it trains on misses only.

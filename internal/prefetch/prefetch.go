@@ -15,6 +15,39 @@ package prefetch
 
 const lineSize = 64
 
+// Prefetcher is the common interface of every prefetcher in this package,
+// structurally identical to the one the cache package expects.
+type Prefetcher interface {
+	OnAccess(pc, addr uint64, hit bool) []uint64
+}
+
+// Clone deep-copies a prefetcher's training state so the copy can be
+// attached to a different cache without sharing mutable state. Sampled
+// simulation warms one prefetcher per kind during checkpoint capture and
+// hands each detailed window a clone.
+func Clone(p Prefetcher) Prefetcher {
+	switch p := p.(type) {
+	case *NextLine:
+		return &NextLine{Degree: p.Degree}
+	case *Stride:
+		return p.clone()
+	case *Stream:
+		return p.clone()
+	case *BOP:
+		return p.clone()
+	case *GHB:
+		return p.clone()
+	case *Composite:
+		parts := make([]Prefetcher, len(p.Parts))
+		for i, part := range p.Parts {
+			parts[i] = Clone(part)
+		}
+		return &Composite{Parts: parts}
+	default:
+		panic("prefetch: Clone: unknown prefetcher type")
+	}
+}
+
 // NextLine prefetches the next sequential line on every access.
 type NextLine struct {
 	Degree int
@@ -55,6 +88,15 @@ type strideEntry struct {
 // NewStride returns a stride prefetcher with the given table capacity.
 func NewStride(capacity int) *Stride {
 	return &Stride{table: make(map[uint64]*strideEntry), cap: capacity, Distance: 4}
+}
+
+func (p *Stride) clone() *Stride {
+	c := &Stride{table: make(map[uint64]*strideEntry, len(p.table)), cap: p.cap, Distance: p.Distance}
+	for k, e := range p.table {
+		cp := *e
+		c.table[k] = &cp
+	}
+	return c
 }
 
 // OnAccess implements the prefetcher interface.
@@ -112,6 +154,15 @@ func NewStream(capacity int) *Stream {
 	return &Stream{regions: make(map[uint64]*streamEntry), cap: capacity, Degree: 2}
 }
 
+func (p *Stream) clone() *Stream {
+	c := &Stream{regions: make(map[uint64]*streamEntry, len(p.regions)), cap: p.cap, Degree: p.Degree}
+	for k, e := range p.regions {
+		cp := *e
+		c.regions[k] = &cp
+	}
+	return c
+}
+
 // OnAccess implements the prefetcher interface.
 func (p *Stream) OnAccess(_, addr uint64, _ bool) []uint64 {
 	region := addr >> 12
@@ -164,9 +215,7 @@ func (p *Stream) OnAccess(_, addr uint64, _ bool) []uint64 {
 // Composite chains prefetchers, concatenating their suggestions (Table 1
 // enables "BOP and Stream").
 type Composite struct {
-	Parts []interface {
-		OnAccess(pc, addr uint64, hit bool) []uint64
-	}
+	Parts []Prefetcher
 
 	out []uint64
 }

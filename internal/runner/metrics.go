@@ -28,6 +28,14 @@ type RunRecord struct {
 	IPC       float64           `json:"ipc"`
 	Breakdown metrics.Breakdown `json:"breakdown"`
 	Hists     metrics.Hists     `json:"hists"`
+
+	// Host-side split: detailed core.Run time vs the functional
+	// fast-forward that produced the run's checkpoint set (zero for
+	// full-detail runs; shared across configs for sampled ones).
+	HostNS   int64  `json:"host_ns"`
+	HostFFNS int64  `json:"host_ff_ns,omitempty"`
+	FFInsts  uint64 `json:"ff_insts,omitempty"`
+	Windows  int    `json:"windows,omitempty"` // sampled windows (0 = full detail)
 }
 
 // newRunRecord flattens a spec/result pair into a record.
@@ -40,11 +48,15 @@ func newRunRecord(spec sim.RunSpec, res *core.Result, cached bool) RunRecord {
 	if sched == "" {
 		sched = sim.SchedOOO
 	}
+	insts := spec.Insts
+	if spec.Sampling != nil {
+		insts = spec.Sampling.Total()
+	}
 	return RunRecord{
 		Workload:  spec.Workload,
 		Input:     input,
 		Sched:     sched,
-		Insts:     spec.Insts,
+		Insts:     insts,
 		Key:       spec.Key(),
 		Cached:    cached,
 		Cycles:    res.Cycles,
@@ -52,6 +64,10 @@ func newRunRecord(spec sim.RunSpec, res *core.Result, cached bool) RunRecord {
 		IPC:       res.IPC(),
 		Breakdown: res.Breakdown,
 		Hists:     res.Hists,
+		HostNS:    res.HostNS,
+		HostFFNS:  res.HostFFNS,
+		FFInsts:   res.FFInsts,
+		Windows:   res.SampledWindows,
 	}
 }
 
@@ -134,7 +150,8 @@ func csvHeader() []string {
 		"load_lat_mean", "load_lat_p99",
 		"dram_lat_mean", "dram_lat_p99",
 		"mlp_mean",
-		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean")
+		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean",
+		"host_ns", "host_ff_ns", "ff_insts", "windows")
 }
 
 func csvRow(rec RunRecord) []string {
@@ -161,5 +178,9 @@ func csvRow(rec RunRecord) []string {
 		fmt.Sprintf("%.3f", h.OccRS.Mean()),
 		fmt.Sprintf("%.3f", h.OccLQ.Mean()),
 		fmt.Sprintf("%.3f", h.OccSQ.Mean()),
-		fmt.Sprintf("%.3f", h.OccMSHR.Mean()))
+		fmt.Sprintf("%.3f", h.OccMSHR.Mean()),
+		fmt.Sprintf("%d", rec.HostNS),
+		fmt.Sprintf("%d", rec.HostFFNS),
+		fmt.Sprintf("%d", rec.FFInsts),
+		fmt.Sprintf("%d", rec.Windows))
 }

@@ -151,6 +151,79 @@ func TestCancellation(t *testing.T) {
 	}
 }
 
+// TestSampledSharing: sampled specs are content-keyed like any other —
+// a repeat is a memo hit — and configs that differ only in scheduler or
+// prefetcher share one checkpoint capture. The disk round trip keeps the
+// sampling metadata the metrics sink exports.
+func TestSampledSharing(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s := sim.Sampling{Warm: 15_000, Window: 5_000, Count: 2}
+	base := sim.RunSpec{Workload: "pointerchase", Sampling: &s}
+
+	r1 := newRunner(t, Options{Workers: 4, CacheDir: dir})
+	warm, err := r1.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.SampledWindows != s.Count || warm.FFInsts == 0 {
+		t.Fatalf("sampled result metadata = windows %d ff %d", warm.SampledWindows, warm.FFInsts)
+	}
+	// Same spec again: memo hit, no new simulation.
+	again, err := r1.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != warm {
+		t.Error("identical sampled spec re-executed")
+	}
+	executed := r1.Stats().Executed
+	// Different scheduler and prefetcher: new simulations, but the
+	// functional prefix is restored from the shared checkpoint set, so
+	// each costs only the detailed windows.
+	rnd := base
+	rnd.Sched = sim.SchedRandom
+	nopf := base
+	nopf.Prefetcher = sim.PFNone
+	for _, spec := range []sim.RunSpec{rnd, nopf} {
+		res, err := r1.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == warm {
+			t.Error("distinct config shared a result")
+		}
+	}
+	if after := r1.Stats().Executed; after != executed+2 {
+		t.Errorf("Executed %d -> %d, want +2", executed, after)
+	}
+	// Any sampling-field change is a different key.
+	s2 := s
+	s2.Count++
+	changed, err := r1.Run(ctx, sim.RunSpec{Workload: "pointerchase", Sampling: &s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == warm {
+		t.Error("changed sampling schedule hit the old key")
+	}
+
+	// A fresh runner over the same cache dir serves the sampled result
+	// from disk, metadata intact.
+	r2 := newRunner(t, Options{Workers: 2, CacheDir: dir})
+	cached, err := r2.Run(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Stats().Executed; got != 0 {
+		t.Fatalf("warm sampled run executed %d simulations, want 0", got)
+	}
+	if cached.Cycles != warm.Cycles || cached.Insts != warm.Insts ||
+		cached.SampledWindows != warm.SampledWindows || cached.FFInsts != warm.FFInsts {
+		t.Fatalf("sampled result lost in disk round trip: %+v vs %+v", cached, warm)
+	}
+}
+
 // TestUnknownWorkload: a bad name produces an error enumerating the
 // registry instead of a nil-pointer panic in a worker.
 func TestUnknownWorkload(t *testing.T) {

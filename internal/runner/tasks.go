@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"crisp/internal/checkpoint"
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/sim"
@@ -87,7 +88,13 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		}
 		var a *crisp.Analysis
 		if spec.Crisp != nil {
-			a, err = r.Analysis(ctx, AnalysisSpec{Workload: spec.Workload, Insts: spec.Insts, Opts: *spec.Crisp})
+			// Sampled specs carry no Insts; the analysis window matches the
+			// budget the sampling schedule covers.
+			budget := spec.Insts
+			if spec.Sampling != nil {
+				budget = spec.Sampling.Total()
+			}
+			a, err = r.Analysis(ctx, AnalysisSpec{Workload: spec.Workload, Insts: budget, Opts: *spec.Crisp})
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +107,21 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		if a != nil {
 			img.Prog = a.Apply(img.Prog)
 		}
-		res, err := sim.RunContext(ctx, img, cfg)
+		var res *core.Result
+		if spec.Sampling != nil {
+			// Every config sharing (workload, input, schedule) restores
+			// from one memoized checkpoint set: the functional prefix runs
+			// once per set, not once per config. Critical tags change
+			// neither functional behaviour nor instruction positions, so
+			// untagged checkpoints serve tagged programs.
+			set, cerr := r.checkpointSet(ctx, spec.Workload, variant, *spec.Sampling)
+			if cerr != nil {
+				return nil, cerr
+			}
+			res, err = sim.RunSampledContext(ctx, set, img.Prog, cfg, *spec.Sampling)
+		} else {
+			res, err = sim.RunContext(ctx, img, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +224,26 @@ func (r *Runner) trace(ctx context.Context, name string, insts uint64) (*trace.T
 		return nil, err
 	}
 	return v.(*trace.Trace), nil
+}
+
+// checkpointSet memoizes the sampled-simulation checkpoint capture per
+// (workload, variant, schedule): the cross-config sharing at the heart
+// of sampling. Sets hold copy-on-write memory snapshots and warmed
+// structure templates, so like traces they live in memory only; the
+// sampled results derived from them are what the disk cache persists.
+func (r *Runner) checkpointSet(ctx context.Context, name string, variant workload.Variant, s sim.Sampling) (*checkpoint.Set, error) {
+	key := fmt.Sprintf("ckpt|%s|%d|%d|%d|%d|%d", name, variant, s.Skip, s.Warm, s.Window, s.Count)
+	v, err := r.do(ctx, key, func(ctx context.Context) (any, error) {
+		w, err := resolveWorkload(name)
+		if err != nil {
+			return nil, err
+		}
+		return sim.CaptureCheckpoints(w.Build(variant), sim.DefaultConfig(), s), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*checkpoint.Set), nil
 }
 
 // Footprint resolves the Figure 12 code-size metrics for an analysis.

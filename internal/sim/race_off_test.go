@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled reports whether the race detector is active; heavyweight
+// accuracy tests skip under it (the CI race job runs this package).
+const raceEnabled = false

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"crisp/internal/branch"
 	"crisp/internal/cache"
+	"crisp/internal/checkpoint"
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/emu"
@@ -110,6 +112,57 @@ func Run(img *Image, cfg Config) *core.Result {
 	return r
 }
 
+// newPrefetcher builds a fresh data prefetcher of the given kind, or nil
+// for PFNone.
+func newPrefetcher(kind PrefetcherKind) prefetch.Prefetcher {
+	switch kind {
+	case PFBOPStream:
+		return &prefetch.Composite{Parts: []prefetch.Prefetcher{prefetch.NewBOP(), prefetch.NewStream(64)}}
+	case PFStride:
+		return prefetch.NewStride(256)
+	case PFGHB:
+		return prefetch.NewGHB(512)
+	default:
+		return nil
+	}
+}
+
+// attachPrefetcher installs the configured data prefetcher on L1D.
+func attachPrefetcher(kind PrefetcherKind, hier *cache.Hierarchy) {
+	if pf := newPrefetcher(kind); pf != nil {
+		hier.L1D.SetPrefetcher(pf)
+	}
+}
+
+// attachIBDA wires an IBDA instance's delinquent-load feedback to the
+// LLC and returns its core-facing marker.
+func attachIBDA(ib *ibda.IBDA, prog *program.Program, hier *cache.Hierarchy) core.Marker {
+	hier.LLC.SetMissObserver(func(pc, _ uint64) {
+		spc := int(pc)
+		if spc >= 0 && spc < prog.Len() && prog.Insts[spc].Op == isa.OpLoad {
+			ib.OnLLCMiss(spc)
+		}
+	})
+	return ibdaMarker{ib}
+}
+
+// cancelCheck adapts a context to the core's cancellation poll; returns
+// nil for contexts that can never be cancelled.
+func cancelCheck(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
 // RunContext is Run with cancellation: the context's Done channel is
 // polled inside the core's cycle loop (every few thousand simulated
 // cycles), so a cancelled or timed-out sweep stops mid-simulation instead
@@ -117,28 +170,11 @@ func Run(img *Image, cfg Config) *core.Result {
 // (nil, ctx.Err()) and the partial run is not counted in HostTotals.
 func RunContext(ctx context.Context, img *Image, cfg Config) (*core.Result, error) {
 	hier := cache.NewHierarchy(cfg.Hier)
-	switch cfg.Prefetcher {
-	case PFBOPStream:
-		hier.L1D.SetPrefetcher(&prefetch.Composite{Parts: []interface {
-			OnAccess(pc, addr uint64, hit bool) []uint64
-		}{prefetch.NewBOP(), prefetch.NewStream(64)}})
-	case PFStride:
-		hier.L1D.SetPrefetcher(prefetch.NewStride(256))
-	case PFGHB:
-		hier.L1D.SetPrefetcher(prefetch.NewGHB(512))
-	}
+	attachPrefetcher(cfg.Prefetcher, hier)
 
 	var marker core.Marker
 	if cfg.IBDA != nil {
-		ib := ibda.New(*cfg.IBDA)
-		marker = ibdaMarker{ib}
-		prog := img.Prog
-		hier.LLC.SetMissObserver(func(pc, _ uint64) {
-			spc := int(pc)
-			if spc >= 0 && spc < prog.Len() && prog.Insts[spc].Op == isa.OpLoad {
-				ib.OnLLCMiss(spc)
-			}
-		})
+		marker = attachIBDA(ibda.New(*cfg.IBDA), img.Prog, hier)
 	}
 
 	em := emu.New(img.Prog, img.Mem)
@@ -146,15 +182,8 @@ func RunContext(ctx context.Context, img *Image, cfg Config) (*core.Result, erro
 		em.SetReg(r, v)
 	}
 	c := core.New(cfg.Core, img.Prog, em, hier, marker)
-	if done := ctx.Done(); done != nil {
-		c.SetCancelCheck(func() bool {
-			select {
-			case <-done:
-				return true
-			default:
-				return false
-			}
-		})
+	if f := cancelCheck(ctx); f != nil {
+		c.SetCancelCheck(f)
 	}
 	r := c.Run()
 	if err := ctx.Err(); err != nil {
@@ -165,9 +194,110 @@ func RunContext(ctx context.Context, img *Image, cfg Config) (*core.Result, erro
 	return r, nil
 }
 
+// CaptureCheckpoints runs the single functional fast-forward pass over
+// the image and returns the checkpoint set for the schedule: the per-
+// (workload, input, schedule) artifact every config's sampled run
+// restores from. The image is consumed. The warmed cache geometry and
+// frontend structure sizes come from cfg, which must match the configs
+// that will restore the set (RunSampledContext verifies the hierarchy
+// geometry).
+func CaptureCheckpoints(img *Image, cfg Config, s Sampling) *checkpoint.Set {
+	em := emu.New(img.Prog, img.Mem)
+	for r, v := range img.Regs {
+		em.SetReg(r, v)
+	}
+	// Warm one cache-hierarchy/prefetcher variant per prefetcher kind:
+	// prefetched lines are part of steady-state cache content (resident
+	// prefetches dedup most later suggestions), and prefetcher training
+	// itself converges slowly, so both must be warmed per kind. The
+	// functional execution — the expensive part — still happens once, and
+	// every scheduler config of every kind shares the result.
+	pfs := make(map[string]prefetch.Prefetcher)
+	for _, kind := range []PrefetcherKind{PFBOPStream, PFStride, PFGHB, PFNone} {
+		pfs[kind.String()] = newPrefetcher(kind)
+	}
+	set := checkpoint.Capture(img.Prog, em, cfg.Hier,
+		cfg.Core.BTBEntries, cfg.Core.BTBWays, cfg.Core.RASEntries, pfs,
+		checkpoint.Params{Skip: s.Skip, Warm: s.Warm, Window: s.Window, Count: s.Count})
+	hostFFInsts.Add(set.FFInsts)
+	hostFFNS.Add(uint64(set.HostNS))
+	return set
+}
+
+// RunSampled executes a sampled simulation of prog under cfg over a
+// previously captured checkpoint set.
+func RunSampled(set *checkpoint.Set, prog *program.Program, cfg Config, s Sampling) (*core.Result, error) {
+	return RunSampledContext(context.Background(), set, prog, cfg, s)
+}
+
+// RunSampledContext restores each checkpoint into a fresh detailed window
+// (cloned warmed hierarchy and predictors, copy-on-write memory fork,
+// per-config prefetcher/IBDA attachments) of Window instructions under
+// cfg, and aggregates the per-window results into one weighted
+// core.Result: windows are equal-length, so summing counters, breakdowns
+// and histograms is the weighted aggregate. prog must be position-
+// identical to the program the set was captured from (a critical-tagged
+// clone qualifies). The set is only read, never mutated, so any number of
+// configs may run over it concurrently.
+func RunSampledContext(ctx context.Context, set *checkpoint.Set, prog *program.Program, cfg Config, s Sampling) (*core.Result, error) {
+	if set.Hier != cfg.Hier {
+		return nil, fmt.Errorf("sim: checkpoint set warmed with different hierarchy geometry than the run config")
+	}
+	var ib *ibda.IBDA
+	if cfg.IBDA != nil {
+		// One IBDA instance spans the windows: the runtime mechanism would
+		// have been learning continuously across the whole execution.
+		ib = ibda.New(*cfg.IBDA)
+	}
+	check := cancelCheck(ctx)
+	var agg *core.Result
+	for _, pt := range set.Points {
+		st, err := pt.Restore(prog, cfg.Prefetcher.String())
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		var marker core.Marker
+		if ib != nil {
+			marker = attachIBDA(ib, prog, st.Hier)
+		}
+		ccfg := cfg.Core
+		ccfg.MaxInsts = s.Window
+		c := core.New(ccfg, prog, st.Em, st.Hier, marker)
+		var bp branch.Predictor
+		if !ccfg.PerfectBP {
+			bp = st.BP
+		}
+		c.SetBranchState(bp, st.BTB, st.RAS)
+		if check != nil {
+			c.SetCancelCheck(check)
+		}
+		r := c.Run()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hostInsts.Add(r.Insts)
+		hostNS.Add(uint64(r.HostNS))
+		if agg == nil {
+			agg = r
+		} else {
+			agg.Merge(r)
+		}
+	}
+	if agg == nil {
+		agg = &core.Result{Loads: map[int]*core.LoadProf{}, Branches: map[int]*core.BranchProf{}}
+	}
+	agg.SampledWindows = len(set.Points)
+	agg.FFInsts = set.FFInsts
+	agg.HostFFNS = set.HostNS
+	return agg, nil
+}
+
 // Cumulative host-throughput counters across every Run in the process
-// (timing runs only; trace captures are not counted).
-var hostInsts, hostNS atomic.Uint64
+// (timing runs only; trace captures are not counted). The FF pair counts
+// the functional fast-forward/checkpoint-capture side of sampled
+// simulation, kept separate so the detailed-vs-functional host split is
+// observable.
+var hostInsts, hostNS, hostFFInsts, hostFFNS atomic.Uint64
 
 // HostTotals returns the total simulated instructions and host
 // nanoseconds spent inside core.Run since process start (or the last
@@ -175,10 +305,18 @@ var hostInsts, hostNS atomic.Uint64
 // per-run CPU-ish time, not wall time.
 func HostTotals() (insts, ns uint64) { return hostInsts.Load(), hostNS.Load() }
 
+// HostFFTotals returns the total instructions executed functionally and
+// host nanoseconds spent in checkpoint capture (fast-forward + warming +
+// snapshots) since process start or the last ResetHostTotals. Capture
+// cost is counted once per checkpoint set, however many configs share it.
+func HostFFTotals() (insts, ns uint64) { return hostFFInsts.Load(), hostFFNS.Load() }
+
 // ResetHostTotals zeroes the cumulative host-throughput counters.
 func ResetHostTotals() {
 	hostInsts.Store(0)
 	hostNS.Store(0)
+	hostFFInsts.Store(0)
+	hostFFNS.Store(0)
 }
 
 // CaptureTrace functionally executes the image and records up to limit
@@ -198,6 +336,15 @@ type Pipeline struct {
 	Profile   *core.Result
 }
 
+// DefaultAnalysisTraceLimit is the fallback dynamic-instruction budget
+// for AnalyzeTrain's trace capture when the run configuration carries no
+// explicit MaxInsts. The workload kernels loop indefinitely (they are
+// bounded by instruction budgets, not by Halt), so an unbounded capture
+// would never terminate; 2^21 ≈ 2.1M instructions is enough for the
+// dependence-chain analysis to converge on every kernel in the registry.
+// Sampled runs size the analysis window explicitly (Sampling.Total()).
+const DefaultAnalysisTraceLimit uint64 = 1 << 21
+
 // AnalyzeTrain runs the profiling pass and trace capture on a train image
 // pair and returns the CRISP analysis. trainProfile and trainTrace must be
 // two independently built images of the same workload variant (each run
@@ -206,7 +353,7 @@ func AnalyzeTrain(trainProfile, trainTrace *Image, cfg Config, opts crisp.Option
 	prof := Run(trainProfile, cfg.WithSched(core.SchedOldestFirst))
 	limit := cfg.Core.MaxInsts
 	if limit == 0 {
-		limit = 1 << 21
+		limit = DefaultAnalysisTraceLimit
 	}
 	tr := CaptureTrace(trainTrace, limit)
 	analysis := crisp.Analyze(prof, tr, trainTrace.Prog, opts)
