@@ -287,26 +287,36 @@ func BenchmarkCoreThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim_insts/s")
 }
 
-// BenchmarkHostThroughput measures host-side simulator efficiency on the
-// pointer-chase microbenchmark (the ISSUE's acceptance workload): simulated
-// MIPS, host nanoseconds per simulated instruction, and heap allocations
-// per simulated instruction, all from the Result's own host counters.
+// BenchmarkHostThroughput measures host-side simulator efficiency:
+// simulated MIPS, host nanoseconds per simulated instruction, heap
+// allocations per simulated instruction and the fraction of simulated
+// cycles covered by next-event idle skipping, all from the Result's own
+// host counters. pointerchase is the latency-bound acceptance workload of
+// the earlier host-throughput work; mcf is the memory-bound mem_dram
+// golden config the idle-skipping acceptance bar is measured on.
 func BenchmarkHostThroughput(b *testing.B) {
-	w := workload.ByName("pointerchase")
-	cfg := sim.DefaultConfig()
-	cfg.Core.MaxInsts = benchInsts
-	b.ReportAllocs()
-	b.ResetTimer()
-	var insts, hostNS, hostAllocs uint64
-	for i := 0; i < b.N; i++ {
-		res := sim.Run(w.Build(workload.Ref), cfg)
-		insts += res.Insts
-		hostNS += uint64(res.HostNS)
-		hostAllocs += res.HostAllocs
+	for _, name := range []string{"pointerchase", "mcf"} {
+		b.Run(name, func(b *testing.B) {
+			w := workload.ByName(name)
+			cfg := sim.DefaultConfig()
+			cfg.Core.MaxInsts = benchInsts
+			b.ReportAllocs()
+			b.ResetTimer()
+			var insts, cycles, skipped, hostNS, hostAllocs uint64
+			for i := 0; i < b.N; i++ {
+				res := sim.Run(w.Build(workload.Ref), cfg)
+				insts += res.Insts
+				cycles += res.Cycles
+				skipped += res.SkippedCycles
+				hostNS += uint64(res.HostNS)
+				hostAllocs += res.HostAllocs
+			}
+			b.ReportMetric(float64(insts)*1e3/float64(hostNS), "sim_MIPS")
+			b.ReportMetric(float64(hostNS)/float64(insts), "host_ns/inst")
+			b.ReportMetric(float64(hostAllocs)/float64(insts), "allocs/inst")
+			b.ReportMetric(float64(skipped)/float64(cycles), "skipped_frac")
+		})
 	}
-	b.ReportMetric(float64(insts)*1e3/float64(hostNS), "sim_MIPS")
-	b.ReportMetric(float64(hostNS)/float64(insts), "host_ns/inst")
-	b.ReportMetric(float64(hostAllocs)/float64(insts), "allocs/inst")
 }
 
 // BenchmarkHostThroughputFastForward measures the functional

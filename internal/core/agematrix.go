@@ -8,25 +8,29 @@ package core
 
 import "math/bits"
 
-// AgeMatrix is the RAND-scheduler age matrix of Section 4.2: instructions
-// are inserted into arbitrary IQ slots, and each slot keeps an N-bit age
-// vector whose bit j is set iff slot j holds an older instruction. The
-// oldest instruction among a candidate set (the BID or PRIO vector) is the
-// one whose age vector ANDed with the candidate vector is all zeros —
-// exactly the NOR-reduction select of Figure 6.
+// AgeMatrix models the RAND-scheduler age matrix of Section 4.2: in
+// hardware every IQ slot keeps an N-bit age vector whose bit j is set iff
+// slot j holds an older instruction, and the oldest instruction among a
+// candidate set (the BID or PRIO vector) is the one whose age vector ANDed
+// with the candidates is all zeros — the NOR-reduction select of Figure 6.
+//
+// The matrix's rows induce exactly the insertion order of the live slots,
+// so the model keeps the equivalent representation directly: a 64-bit
+// insertion stamp per slot. Selection is then an argmin over candidate
+// stamps, which picks the same slot the NOR-reduction would (the oldest
+// live candidate is unique — stamps are strictly increasing), and Insert
+// drops from an O(N) column clear to O(1). The hardware cost model is
+// unchanged; only the host representation is.
 type AgeMatrix struct {
 	n        int
-	words    int
-	rows     []uint64 // flat n x words matrix; row slot starts at slot*words
+	age      []uint64 // insertion stamp per slot; valid only while occupied
+	stamp    uint64   // next stamp to hand out, strictly increasing
 	occupied *Bitset
 }
 
-// NewAgeMatrix returns an age matrix for an IQ with n slots. Rows share
-// one flat backing array so inserts and row reads stay cache-friendly.
+// NewAgeMatrix returns an age matrix for an IQ with n slots.
 func NewAgeMatrix(n int) *AgeMatrix {
-	m := &AgeMatrix{n: n, words: (n + 63) / 64, occupied: NewBitset(n)}
-	m.rows = make([]uint64, n*m.words)
-	return m
+	return &AgeMatrix{n: n, age: make([]uint64, n), occupied: NewBitset(n)}
 }
 
 // Size returns the number of IQ slots.
@@ -35,44 +39,19 @@ func (m *AgeMatrix) Size() int { return m.n }
 // Occupied reports whether slot i currently holds an instruction.
 func (m *AgeMatrix) Occupied(i int) bool { return m.occupied.Get(i) }
 
-// Row exposes the raw age-vector words of a slot. Bit j is set iff slot j
-// held an older instruction when this slot was filled; bits of slots freed
-// since then are stale and must be masked by an occupied candidate vector.
-func (m *AgeMatrix) Row(slot int) []uint64 {
-	return m.rows[slot*m.words : (slot+1)*m.words]
-}
-
-// Insert enqueues a new (youngest) instruction into the given free slot:
-// its age vector is initialized to all ones except its own bit, and its
-// bit is cleared in every existing instruction's age vector (hardware
-// clears it in all rows; stale rows of free slots are harmless because
-// they are never candidates).
+// Insert enqueues a new (youngest) instruction into the given free slot.
 func (m *AgeMatrix) Insert(slot int) {
 	if m.occupied.Get(slot) {
 		panic("core: AgeMatrix.Insert into occupied slot")
 	}
-	row := m.Row(slot)
-	for i := range row {
-		row[i] = ^uint64(0)
-	}
-	// Mask off bits beyond n and the slot's own bit.
-	if extra := m.n & 63; extra != 0 {
-		row[m.words-1] = (1 << uint(extra)) - 1
-	}
-	row[slot>>6] &^= 1 << uint(slot&63)
-	// Clear this slot's bit in all other rows: nothing already enqueued is
-	// younger than the new instruction. The flat layout makes this a
-	// single strided sweep; it covers the new row too, where the slot's
-	// own bit is already clear.
-	w, bit := slot>>6, uint64(1)<<uint(slot&63)
-	for i := w; i < len(m.rows); i += m.words {
-		m.rows[i] &^= bit
-	}
+	m.age[slot] = m.stamp
+	m.stamp++
 	m.occupied.Set(slot)
 }
 
-// Remove frees a slot at issue. As in hardware, other rows keep their
-// stale bits for this slot; they are masked by the candidate vector.
+// Remove frees a slot at issue. The slot's stamp goes stale, exactly like
+// the stale row bits hardware leaves behind; it is never consulted again
+// because freed slots are never candidates.
 func (m *AgeMatrix) Remove(slot int) { m.occupied.Clear(slot) }
 
 // FreeSlot returns a free slot selected pseudo-randomly (the RAND
@@ -108,8 +87,6 @@ func (m *AgeMatrix) FreeSlot(rnd uint64) int {
 
 // OldestAmong returns the slot of the oldest instruction among the
 // candidates (a BID or PRIO vector), or -1 if the candidate set is empty.
-// A candidate is oldest iff its age vector has no bit in common with the
-// candidate set.
 func (m *AgeMatrix) OldestAmong(cand *Bitset) int {
 	return m.OldestAmongWords(cand.Words())
 }
@@ -117,23 +94,35 @@ func (m *AgeMatrix) OldestAmong(cand *Bitset) int {
 // OldestAmongWords is OldestAmong over a raw candidate word slice, the
 // form the scheduler's persistent BID/PRIO vectors hand over directly.
 func (m *AgeMatrix) OldestAmongWords(cand []uint64) int {
+	best := -1
+	var bestAge uint64
 	for wi, w := range cand {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			slot := wi<<6 + b
 			w &^= 1 << uint(b)
-			row := m.rows[slot*m.words:]
-			zero := true
-			for j := range cand {
-				if row[j]&cand[j] != 0 {
-					zero = false
-					break
-				}
-			}
-			if zero {
-				return slot
+			if a := m.age[slot]; best < 0 || a < bestAge {
+				best, bestAge = slot, a
 			}
 		}
 	}
-	return -1
+	return best
+}
+
+// OlderCount returns how many candidates hold instructions older than the
+// one in slot — the number of older ready entries a PRIO pick bypasses
+// (in hardware, the popcount of the pick's age-vector row masked by the
+// candidate vector).
+func (m *AgeMatrix) OlderCount(cand *Bitset, slot int) int {
+	mine, n := m.age[slot], 0
+	for wi, w := range cand.Words() {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			if m.age[wi<<6+b] < mine {
+				n++
+			}
+		}
+	}
+	return n
 }

@@ -77,6 +77,13 @@ type Config struct {
 	// on and per-cycle exact — only occupancy is sampled.
 	OccSampleEvery int
 
+	// DebugNoSkip disables next-event idle-cycle skipping, stepping every
+	// simulated cycle through the full stage loop. Results are identical
+	// either way — skipping is cycle-exact by construction and the
+	// equivalence test pins it — so the flag exists for debugging the
+	// timing model and for the slow half of that test.
+	DebugNoSkip bool
+
 	// MaxInsts bounds the number of instructions simulated (0 = to Halt).
 	MaxInsts uint64
 }

@@ -99,6 +99,7 @@ type Core struct {
 	dispStall     uint8
 	redirectUntil uint64
 	occMask       uint64
+	robMask       uint64 // len(rob)-1; ring capacity is a power of two
 
 	// Incremental scheduler state (see wakeup.go): persistent BID/PRIO
 	// vectors plus the wakeup machinery that maintains them.
@@ -113,8 +114,13 @@ type Core struct {
 	stats       Result
 	cancelCheck func() bool
 
-	upcAccum   uint64
-	lastRetire uint64
+	upcAccum       uint64
+	lastRetire     uint64
+	lastRetireIter uint64
+
+	// Dense per-PC profile storage (see loadProf/branchProf/exportProfs).
+	loadProfs   []LoadProf
+	branchProfs []BranchProf
 }
 
 // New builds a core over the given program, emulator and hierarchy.
@@ -131,7 +137,7 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 		marker:           marker,
 		waitingBranchSeq: -1,
 
-		rob:    make([]entry, cfg.ROBSize),
+		rob:    make([]entry, ceilPow2(cfg.ROBSize)),
 		slots:  make([]*entry, cfg.RSSize),
 		matrix: NewAgeMatrix(cfg.RSSize),
 		rng:    0x853C49E6748FEA9B,
@@ -144,7 +150,7 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 		scratchBid:  NewBitset(cfg.RSSize),
 		scratchPrio: NewBitset(cfg.RSSize),
 		waitCount:   make([]int8, cfg.RSSize),
-		waiterHead:  make([]int32, cfg.ROBSize),
+		waiterHead:  make([]int32, ceilPow2(cfg.ROBSize)),
 		waiterNext:  make([]int32, cfg.RSSize*3),
 		wakeups:     make(wakeupHeap, 0, cfg.RSSize*3),
 	}
@@ -165,6 +171,8 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 	}
 	c.stats.Loads = make(map[int]*LoadProf)
 	c.stats.Branches = make(map[int]*BranchProf)
+	c.loadProfs = make([]LoadProf, prog.Len())
+	c.branchProfs = make([]BranchProf, prog.Len())
 	c.curFetchLine = ^uint64(0)
 	occ := cfg.OccSampleEvery
 	if occ <= 0 {
@@ -175,10 +183,23 @@ func New(cfg Config, prog *program.Program, em *emu.Emulator, hier *cache.Hierar
 		period <<= 1
 	}
 	c.occMask = uint64(period - 1)
+	c.robMask = uint64(len(c.rob) - 1)
 	return c
 }
 
-func (c *Core) robEntry(seq uint64) *entry { return &c.rob[seq%uint64(len(c.rob))] }
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// robEntry maps a sequence number to its ring slot. The ring capacity is
+// the ROB size rounded up to a power of two (occupancy is still bounded by
+// cfg.ROBSize at dispatch), so the hot-path modulo is a mask.
+func (c *Core) robEntry(seq uint64) *entry { return &c.rob[seq&c.robMask] }
 
 // depReady reports whether the producer identified by seq has its result
 // available at cycle `at`.
@@ -197,9 +218,13 @@ func (c *Core) nextRand() uint64 {
 	return c.rng
 }
 
-// SetCancelCheck installs a callback polled every few thousand simulated
-// cycles during Run; when it returns true the simulation stops early and
-// Run returns the partial statistics. It must be set before Run.
+// SetCancelCheck installs a callback polled on every cycle-loop iteration
+// during Run; when it returns true the simulation stops early and Run
+// returns the partial statistics. It must be set before Run. Polling
+// per iteration (not per simulated cycle) keeps cancellation latency
+// bounded in host time: an idle-cycle skip can advance the clock by
+// hundreds of cycles in one iteration, so any cycle-count modulus could
+// be jumped over.
 func (c *Core) SetCancelCheck(f func() bool) { c.cancelCheck = f }
 
 // SetBranchState replaces the core's frontend prediction structures with
@@ -225,7 +250,8 @@ func (c *Core) Run() *Result {
 	startAllocs := ms.Mallocs
 	start := time.Now()
 	for !c.finished() {
-		if c.cancelCheck != nil && c.cycle&0xfff == 0 && c.cancelCheck() {
+		c.stats.HostIters++
+		if c.cancelCheck != nil && c.cancelCheck() {
 			break
 		}
 		c.commit()
@@ -235,16 +261,25 @@ func (c *Core) Run() *Result {
 		if c.cycle&c.occMask == 0 {
 			c.sampleOccupancy()
 		}
+		if !c.cfg.DebugNoSkip {
+			c.skipIdle()
+		}
 		c.cycle++
 		if c.cfg.UPCWindow > 0 && c.cycle%uint64(c.cfg.UPCWindow) == 0 {
 			c.stats.UPCWindows = append(c.stats.UPCWindows, float64(c.upcAccum)/float64(c.cfg.UPCWindow))
 			c.upcAccum = 0
 		}
-		if c.cycle-c.lastRetire > 2_000_000 {
-			panic(fmt.Sprintf("core: no commit for 2M cycles at cycle %d (head seq %d tail %d, fetchQ %d)",
+		// Watchdog on loop iterations, not simulated cycles: a legitimate
+		// next-event jump can advance the clock by millions of cycles
+		// (e.g. a huge UPC window over a dead backend), which must not be
+		// mistaken for a hang. Iterations without retirement bound host
+		// work directly.
+		if c.stats.HostIters-c.lastRetireIter > 2_000_000 {
+			panic(fmt.Sprintf("core: no commit for 2M loop iterations at cycle %d (head seq %d tail %d, fetchQ %d)",
 				c.cycle, c.headSeq, c.tailSeq, c.fqLen))
 		}
 	}
+	c.exportProfs()
 	c.stats.HostNS = time.Since(start).Nanoseconds()
 	runtime.ReadMemStats(&ms)
 	c.stats.HostAllocs = ms.Mallocs - startAllocs
@@ -309,6 +344,7 @@ func (c *Core) commit() {
 		c.stats.Insts++
 		c.upcAccum++
 		c.lastRetire = c.cycle
+		c.lastRetireIter = c.stats.HostIters
 	}
 }
 
@@ -466,7 +502,7 @@ func (c *Core) armDep(seq int64, slot, dep int) int {
 		return 1
 	}
 	node := int32(slot*3 + dep)
-	robIdx := int32(uint64(seq) % uint64(len(c.rob)))
+	robIdx := int32(uint64(seq) & c.robMask)
 	c.waiterNext[node] = c.waiterHead[robIdx]
 	c.waiterHead[robIdx] = node
 	return 1
@@ -489,12 +525,8 @@ func (c *Core) pick(bid, prio *Bitset) int {
 		if s := c.matrix.OldestAmong(prio); s >= 0 {
 			c.stats.IssuedCritical++
 			// Diagnostic: how many older ready entries did the PRIO pick
-			// bypass? The pick's age-matrix row has exactly the
-			// older-instruction bits, so a masked popcount against the
-			// candidate vector answers in RSSize/64 word operations.
-			// (Stale row bits belong to freed slots, which are never BID
-			// candidates.)
-			c.stats.QueueJumpSum += uint64(bid.AndCount(c.matrix.Row(s)))
+			// bypass?
+			c.stats.QueueJumpSum += uint64(c.matrix.OlderCount(bid, s))
 			return s
 		}
 		return c.matrix.OldestAmong(bid)
@@ -565,7 +597,7 @@ func (c *Core) execute(e *entry, cls isa.PortClass, port int) {
 
 	// The completion cycle is now known: convert consumers that chained
 	// onto this producer into timed wakeups.
-	robIdx := int32(e.seq % uint64(len(c.rob)))
+	robIdx := int32(e.seq & c.robMask)
 	for node := c.waiterHead[robIdx]; node >= 0; node = c.waiterNext[node] {
 		c.wakeups.push(e.doneAt, node/3)
 	}
@@ -829,20 +861,30 @@ func (c *Core) fetchBranch(d emu.DynInst) (mispredict bool, bubbleUntil uint64) 
 
 // ----------------------------------------------------------- small utils
 
-func (c *Core) loadProf(pc int) *LoadProf {
-	p := c.stats.Loads[pc]
-	if p == nil {
-		p = &LoadProf{}
-		c.stats.Loads[pc] = p
-	}
-	return p
-}
+// Per-PC profiles live in dense slices indexed by static PC while the
+// simulation runs (the PC space is the program, so this is exact and much
+// cheaper than map lookups on the execute/commit paths); Run materializes
+// the Result maps from the touched entries at the end.
 
-func (c *Core) branchProf(pc int) *BranchProf {
-	p := c.stats.Branches[pc]
-	if p == nil {
-		p = &BranchProf{}
-		c.stats.Branches[pc] = p
+func (c *Core) loadProf(pc int) *LoadProf { return &c.loadProfs[pc] }
+
+func (c *Core) branchProf(pc int) *BranchProf { return &c.branchProfs[pc] }
+
+// exportProfs copies every touched per-PC profile into the Result maps.
+// Every loadProf call site bumps Count or HeadStall and every branchProf
+// call site bumps Count, so "touched" is exactly "some counter nonzero" —
+// the map contents match what per-call map insertion would have produced.
+func (c *Core) exportProfs() {
+	for pc := range c.loadProfs {
+		if p := &c.loadProfs[pc]; p.Count != 0 || p.HeadStall != 0 {
+			cp := *p
+			c.stats.Loads[pc] = &cp
+		}
 	}
-	return p
+	for pc := range c.branchProfs {
+		if p := &c.branchProfs[pc]; p.Count != 0 {
+			cp := *p
+			c.stats.Branches[pc] = &cp
+		}
+	}
 }

@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"crisp/internal/core"
+	"crisp/internal/sim"
+)
+
+// TestSkipEquivalence pins the tentpole invariant of next-event idle-cycle
+// skipping: with DebugNoSkip the core steps every simulated cycle through
+// the full stage loop; without it, provably idle intervals are jumped and
+// bulk-charged. The two paths must produce identical results — every
+// counter, the exact cycle breakdown, the occupancy/latency histograms,
+// the per-PC load and branch profiles, and the UPC timeline — on a
+// latency-bound pointer chase, a DRAM-thrashing kernel (mcf) and a branchy
+// one (xalancbmk), under both the baseline and CRISP schedulers (the CRISP
+// cases tag all loads critical, so the PRIO path is exercised too).
+// UPCWindow is set off the occupancy-sample period so the window-boundary
+// and sample-boundary clips both land mid-skip.
+func TestSkipEquivalence(t *testing.T) {
+	for _, name := range []string{"pointerchase", "mcf", "xalancbmk"} {
+		for _, sched := range []core.SchedulerKind{core.SchedOldestFirst, core.SchedCRISP} {
+			name, sched := name, sched
+			t.Run(name+"/"+sched.String(), func(t *testing.T) {
+				run := func(noskip bool) *core.Result {
+					cfg := sim.DefaultConfig().WithSched(sched)
+					cfg.Core.MaxInsts = 60_000
+					cfg.Core.UPCWindow = 500
+					cfg.Core.DebugNoSkip = noskip
+					r := sim.Run(goldenImage(t, name, sched), cfg)
+					// Host-side measurements legitimately differ between
+					// the two paths; everything else must match exactly.
+					r.HostNS, r.HostAllocs, r.HostIters, r.SkippedCycles = 0, 0, 0, 0
+					return r
+				}
+				fast, slow := run(false), run(true)
+				if !reflect.DeepEqual(fast, slow) {
+					t.Errorf("skip path diverged from per-cycle path:\n"+
+						"  cycles      %d vs %d\n"+
+						"  insts       %d vs %d\n"+
+						"  breakdown   %v vs %v\n"+
+						"  headstalls  %d vs %d\n"+
+						"  fetchstall  %d vs %d\n"+
+						"  upcwindows  %d vs %d entries",
+						fast.Cycles, slow.Cycles,
+						fast.Insts, slow.Insts,
+						fast.Breakdown, slow.Breakdown,
+						fast.ROBHeadStalls, slow.ROBHeadStalls,
+						fast.FetchStallCycle, slow.FetchStallCycle,
+						len(fast.UPCWindows), len(slow.UPCWindows))
+				}
+			})
+		}
+	}
+}
+
+// TestSkipCoverage pins that skipping actually engages where it matters:
+// on the DRAM-bound kernel the majority of simulated cycles must be
+// covered by next-event jumps (the ISSUE's SkippedCycles/Cycles >= 0.5
+// acceptance bar), and the per-cycle path must report none.
+func TestSkipCoverage(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Core.MaxInsts = 60_000
+	r := sim.Run(goldenImage(t, "mcf", core.SchedOldestFirst), cfg)
+	if r.SkippedFrac() < 0.5 {
+		t.Errorf("mcf skipped fraction = %.3f, want >= 0.5 (skipped %d of %d cycles)",
+			r.SkippedFrac(), r.SkippedCycles, r.Cycles)
+	}
+	if r.HostIters+r.SkippedCycles != r.Cycles {
+		t.Errorf("iteration accounting broken: HostIters %d + SkippedCycles %d != Cycles %d",
+			r.HostIters, r.SkippedCycles, r.Cycles)
+	}
+	cfg.Core.DebugNoSkip = true
+	if r := sim.Run(goldenImage(t, "mcf", core.SchedOldestFirst), cfg); r.SkippedCycles != 0 {
+		t.Errorf("DebugNoSkip run reported %d skipped cycles", r.SkippedCycles)
+	}
+}

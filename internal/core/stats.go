@@ -103,12 +103,25 @@ type Result struct {
 	// UPC timeline: retired µops per UPCWindow-cycle window (Figure 1).
 	UPCWindows []float64
 
+	// SkippedCycles counts simulated cycles the run never stepped: whenever
+	// no stage can make forward progress the core computes the earliest
+	// future event (ROB-head completion, pending wakeup, redirect end,
+	// frontend ready time) and jumps there, bulk-charging the interval to
+	// the same stall bucket the per-cycle path would have used. The count
+	// is deterministic (same workload + config ⇒ same skips); it measures
+	// skip efficiency, not timing — Cycles already includes skipped ones.
+	SkippedCycles uint64
+
 	// Host throughput: how fast the simulator itself ran, as opposed to
 	// the simulated machine. HostAllocs is the process-wide heap
 	// allocation delta across Run, so concurrent runs inflate each
 	// other's counts; per-run numbers are exact only single-threaded.
+	// HostIters counts cycle-loop iterations actually executed; with idle
+	// skipping Cycles−SkippedCycles ≈ HostIters, and Cycles/HostIters is
+	// the per-iteration leverage skipping bought.
 	HostNS     int64  // wall-clock nanoseconds spent inside Run
 	HostAllocs uint64 // heap allocations observed during Run
+	HostIters  uint64 // cycle-loop iterations executed (skips collapse many cycles into one)
 
 	// Sampled simulation: set only on results aggregated from detailed
 	// windows over checkpointed state. FFInsts/HostFFNS are the size and
@@ -180,8 +193,19 @@ func (r *Result) Merge(o *Result) {
 		}
 	}
 	r.UPCWindows = append(r.UPCWindows, o.UPCWindows...)
+	r.SkippedCycles += o.SkippedCycles
 	r.HostNS += o.HostNS
 	r.HostAllocs += o.HostAllocs
+	r.HostIters += o.HostIters
+}
+
+// SkippedFrac returns the fraction of simulated cycles covered by
+// next-event jumps rather than stepped individually.
+func (r *Result) SkippedFrac() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.SkippedCycles) / float64(r.Cycles)
 }
 
 // HostMIPS returns simulated million-instructions per host second.

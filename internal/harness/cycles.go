@@ -24,12 +24,29 @@ func (l *Lab) CycleAccounting() *Pending {
 	}
 	width := l.Cfg.Core.CommitWidth
 	var rows []rowSource
+	var skipped, cycles uint64
+	// wrap records the skip-efficiency counters of each resolved run for
+	// the HostNotes footnote below (gated like every host-side note, so
+	// the golden rendering of the figure is untouched).
+	wrap := func(label string, h *runner.RunHandle) rowSource {
+		inner := breakdownCells(width, h)
+		return rowSource{label, func(ctx context.Context) ([]float64, error) {
+			cells, err := inner(ctx)
+			if err != nil {
+				return nil, err
+			}
+			r, _ := h.Result(ctx)
+			skipped += r.SkippedCycles
+			cycles += r.Cycles
+			return cells, nil
+		}}
+	}
 	for _, name := range l.suite() {
 		base := l.R.Submit(l.refSpec(name))
 		cr := l.R.Submit(l.crispSpec(name, crisp.DefaultOptions()))
 		rows = append(rows,
-			rowSource{name + "/ooo", breakdownCells(width, base)},
-			rowSource{name + "/crisp", breakdownCells(width, cr)})
+			wrap(name+"/ooo", base),
+			wrap(name+"/crisp", cr))
 	}
 	return pending(t, rows, func(t *Table) {
 		// Quote the headline effect per workload: the DRAM-bound share
@@ -40,6 +57,11 @@ func (l *Lab) CycleAccounting() *Pending {
 			ooo, cr := t.Rows[i], t.Rows[i+1]
 			t.Notes = append(t.Notes, fmt.Sprintf("%s mem_dram slots: ooo %.1f%% -> crisp %.1f%%",
 				ooo.Label[:len(ooo.Label)-len("/ooo")], ooo.Cells[dramCol], cr.Cells[dramCol]))
+		}
+		if l.HostNotes && cycles > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"next-event idle skipping covered %.1f%% of the %d simulated cycles behind this figure (cycle-exact; see DebugNoSkip)",
+				float64(skipped)/float64(cycles)*100, cycles))
 		}
 	})
 }

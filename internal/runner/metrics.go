@@ -36,6 +36,12 @@ type RunRecord struct {
 	HostFFNS int64  `json:"host_ff_ns,omitempty"`
 	FFInsts  uint64 `json:"ff_insts,omitempty"`
 	Windows  int    `json:"windows,omitempty"` // sampled windows (0 = full detail)
+
+	// Skip efficiency of next-event idle-cycle skipping: simulated cycles
+	// covered by bulk jumps and cycle-loop iterations the host actually
+	// executed (Cycles == SkippedCycles + HostIters per window).
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	HostIters     uint64 `json:"host_iters"`
 }
 
 // newRunRecord flattens a spec/result pair into a record.
@@ -53,21 +59,23 @@ func newRunRecord(spec sim.RunSpec, res *core.Result, cached bool) RunRecord {
 		insts = spec.Sampling.Total()
 	}
 	return RunRecord{
-		Workload:  spec.Workload,
-		Input:     input,
-		Sched:     sched,
-		Insts:     insts,
-		Key:       spec.Key(),
-		Cached:    cached,
-		Cycles:    res.Cycles,
-		Committed: res.Insts,
-		IPC:       res.IPC(),
-		Breakdown: res.Breakdown,
-		Hists:     res.Hists,
-		HostNS:    res.HostNS,
-		HostFFNS:  res.HostFFNS,
-		FFInsts:   res.FFInsts,
-		Windows:   res.SampledWindows,
+		Workload:      spec.Workload,
+		Input:         input,
+		Sched:         sched,
+		Insts:         insts,
+		Key:           spec.Key(),
+		Cached:        cached,
+		Cycles:        res.Cycles,
+		Committed:     res.Insts,
+		IPC:           res.IPC(),
+		Breakdown:     res.Breakdown,
+		Hists:         res.Hists,
+		HostNS:        res.HostNS,
+		HostFFNS:      res.HostFFNS,
+		FFInsts:       res.FFInsts,
+		Windows:       res.SampledWindows,
+		SkippedCycles: res.SkippedCycles,
+		HostIters:     res.HostIters,
 	}
 }
 
@@ -151,7 +159,8 @@ func csvHeader() []string {
 		"dram_lat_mean", "dram_lat_p99",
 		"mlp_mean",
 		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean",
-		"host_ns", "host_ff_ns", "ff_insts", "windows")
+		"host_ns", "host_ff_ns", "ff_insts", "windows",
+		"skipped_cycles", "host_iters")
 }
 
 func csvRow(rec RunRecord) []string {
@@ -182,5 +191,7 @@ func csvRow(rec RunRecord) []string {
 		fmt.Sprintf("%d", rec.HostNS),
 		fmt.Sprintf("%d", rec.HostFFNS),
 		fmt.Sprintf("%d", rec.FFInsts),
-		fmt.Sprintf("%d", rec.Windows))
+		fmt.Sprintf("%d", rec.Windows),
+		fmt.Sprintf("%d", rec.SkippedCycles),
+		fmt.Sprintf("%d", rec.HostIters))
 }

@@ -53,6 +53,13 @@ func TestMetricsExport(t *testing.T) {
 	if got := rec.Breakdown.Total(); got != rec.Cycles*w {
 		t.Errorf("record breakdown total %d != cycles×width %d", got, rec.Cycles*w)
 	}
+	if rec.SkippedCycles != res.SkippedCycles || rec.HostIters != res.HostIters {
+		t.Errorf("skip efficiency: record %d/%d, result %d/%d",
+			rec.SkippedCycles, rec.HostIters, res.SkippedCycles, res.HostIters)
+	}
+	if rec.SkippedCycles+rec.HostIters != rec.Cycles {
+		t.Errorf("skipped %d + iters %d != cycles %d", rec.SkippedCycles, rec.HostIters, rec.Cycles)
+	}
 
 	f, err := os.Open(cs)
 	if err != nil {
@@ -71,7 +78,7 @@ func TestMetricsExport(t *testing.T) {
 		t.Errorf("csv header has %d columns, row has %d", len(rows[0]), len(rows[1]))
 	}
 	header := strings.Join(rows[0], ",")
-	for _, col := range []string{"workload", "mem_dram", "core_rob_full", "load_lat_mean", "occ_mshr_mean"} {
+	for _, col := range []string{"workload", "mem_dram", "core_rob_full", "load_lat_mean", "occ_mshr_mean", "skipped_cycles", "host_iters"} {
 		if !strings.Contains(header, col) {
 			t.Errorf("csv header missing column %q", col)
 		}

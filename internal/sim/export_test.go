@@ -1,0 +1,10 @@
+package sim
+
+// SetSampledWorkers pins the bounded worker count of RunSampledContext's
+// parallel path (0 restores the GOMAXPROCS default) and returns the
+// previous value, so tests can compare the sequential and parallel paths.
+func SetSampledWorkers(n int) int {
+	prev := sampledWorkers
+	sampledWorkers = n
+	return prev
+}

@@ -2,6 +2,7 @@ package sim_test
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -75,6 +76,37 @@ func TestSampledDeterminism(t *testing.T) {
 	}
 	if a.Cycles != c.Cycles {
 		t.Errorf("recaptured set diverged: %d vs %d cycles", a.Cycles, c.Cycles)
+	}
+}
+
+// TestSampledParallelMatchesSequential pins the window fan-out: without
+// IBDA the per-window loop runs on a bounded worker set, and its
+// window-index-order merge must reproduce the sequential path exactly —
+// including the order-sensitive float folds (DRAMAvgLat) and the UPC
+// timeline concatenation.
+func TestSampledParallelMatchesSequential(t *testing.T) {
+	w := captureSmall(t, "mcf")
+	sched := sim.Sampling{Warm: 20_000, Window: 5_000, Count: 4}
+	set := sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), sched)
+	prog := w.Build(workload.Ref).Prog
+	run := func(workers int) *core.Result {
+		prev := sim.SetSampledWorkers(workers)
+		defer sim.SetSampledWorkers(prev)
+		r, err := sim.RunSampled(set, prog, sim.DefaultConfig(), sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wall-clock and allocation counters are timing-dependent (and
+		// allocs are process-wide, so concurrent windows inflate them);
+		// every simulated quantity must match exactly.
+		r.HostNS, r.HostAllocs = 0, 0
+		return r
+	}
+	seq, par := run(1), run(3)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel sampled run diverged from sequential:\n  cycles %d vs %d\n  insts %d vs %d\n  dram_avg_lat %v vs %v\n  upcwindows %d vs %d",
+			seq.Cycles, par.Cycles, seq.Insts, par.Insts,
+			seq.DRAMAvgLat, par.DRAMAvgLat, len(seq.UPCWindows), len(par.UPCWindows))
 	}
 }
 

@@ -9,6 +9,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"crisp/internal/branch"
@@ -243,40 +245,65 @@ func RunSampledContext(ctx context.Context, set *checkpoint.Set, prog *program.P
 	if set.Hier != cfg.Hier {
 		return nil, fmt.Errorf("sim: checkpoint set warmed with different hierarchy geometry than the run config")
 	}
-	var ib *ibda.IBDA
+	check := cancelCheck(ctx)
+	results := make([]*core.Result, len(set.Points))
 	if cfg.IBDA != nil {
 		// One IBDA instance spans the windows: the runtime mechanism would
-		// have been learning continuously across the whole execution.
-		ib = ibda.New(*cfg.IBDA)
-	}
-	check := cancelCheck(ctx)
-	var agg *core.Result
-	for _, pt := range set.Points {
-		st, err := pt.Restore(prog, cfg.Prefetcher.String())
-		if err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+		// have been learning continuously across the whole execution, so
+		// the windows must run sequentially in execution order.
+		ib := ibda.New(*cfg.IBDA)
+		for i, pt := range set.Points {
+			r, err := runWindow(pt, prog, cfg, s.Window, ib, check)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			results[i] = r
 		}
-		var marker core.Marker
-		if ib != nil {
-			marker = attachIBDA(ib, prog, st.Hier)
+	} else {
+		// Without cross-window state the windows are independent: each
+		// restores from the read-only checkpoint set into its own emulator,
+		// hierarchy and predictors. Fan the loop out over a bounded worker
+		// set; the merge below runs in window-index order regardless of
+		// completion order, so the aggregate (including its float folds) is
+		// identical to the sequential path's.
+		errs := make([]error, len(set.Points))
+		workers := sampledWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		ccfg := cfg.Core
-		ccfg.MaxInsts = s.Window
-		c := core.New(ccfg, prog, st.Em, st.Hier, marker)
-		var bp branch.Predictor
-		if !ccfg.PerfectBP {
-			bp = st.BP
+		if workers > len(set.Points) {
+			workers = len(set.Points)
 		}
-		c.SetBranchState(bp, st.BTB, st.RAS)
-		if check != nil {
-			c.SetCancelCheck(check)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(set.Points) || ctx.Err() != nil {
+						return
+					}
+					results[i], errs[i] = runWindow(set.Points[i], prog, cfg, s.Window, nil, check)
+				}
+			}()
 		}
-		r := c.Run()
+		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hostInsts.Add(r.Insts)
-		hostNS.Add(uint64(r.HostNS))
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var agg *core.Result
+	for _, r := range results {
 		if agg == nil {
 			agg = r
 		} else {
@@ -290,6 +317,41 @@ func RunSampledContext(ctx context.Context, set *checkpoint.Set, prog *program.P
 	agg.FFInsts = set.FFInsts
 	agg.HostFFNS = set.HostNS
 	return agg, nil
+}
+
+// sampledWorkers bounds the number of concurrent detailed windows in
+// RunSampledContext's parallel path; <= 0 selects GOMAXPROCS. It is a
+// package variable only so tests can pin both paths.
+var sampledWorkers int
+
+// runWindow restores one checkpoint into a fresh detailed window (cloned
+// warmed hierarchy and predictors, copy-on-write memory fork) and runs
+// Window instructions of it under cfg. ib may be nil; when set, the
+// caller is responsible for running windows sequentially.
+func runWindow(pt *checkpoint.Point, prog *program.Program, cfg Config, window uint64, ib *ibda.IBDA, check func() bool) (*core.Result, error) {
+	st, err := pt.Restore(prog, cfg.Prefetcher.String())
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var marker core.Marker
+	if ib != nil {
+		marker = attachIBDA(ib, prog, st.Hier)
+	}
+	ccfg := cfg.Core
+	ccfg.MaxInsts = window
+	c := core.New(ccfg, prog, st.Em, st.Hier, marker)
+	var bp branch.Predictor
+	if !ccfg.PerfectBP {
+		bp = st.BP
+	}
+	c.SetBranchState(bp, st.BTB, st.RAS)
+	if check != nil {
+		c.SetCancelCheck(check)
+	}
+	r := c.Run()
+	hostInsts.Add(r.Insts)
+	hostNS.Add(uint64(r.HostNS))
+	return r, nil
 }
 
 // Cumulative host-throughput counters across every Run in the process
