@@ -8,13 +8,17 @@
 package repro
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 	"time"
 
+	"crisp/internal/checkpoint"
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/emu"
 	"crisp/internal/harness"
+	"crisp/internal/runner"
 	"crisp/internal/sim"
 	"crisp/internal/workload"
 )
@@ -340,12 +344,24 @@ func BenchmarkHostThroughputFastForward(b *testing.B) {
 	b.ReportMetric(float64(insts)*1e3/float64(time.Since(start).Nanoseconds()), "ff_MIPS")
 }
 
-// BenchmarkHostThroughputSampledSweep measures the headline saving of
-// sampled simulation: a multi-config sweep (default OOO, random
-// scheduler, no prefetcher, stride prefetcher) over a 5M-instruction
-// budget of mcf, where one checkpoint capture serves all four configs.
-// Reports host wall-time speedup over the equivalent full-detail sweep;
-// the ISSUE's acceptance bar is >=5x.
+// BenchmarkHostThroughputSampledSweep measures the headline savings of
+// sampled simulation on a 4-config, 5M-instruction mcf sweep (default
+// OOO, random scheduler, no prefetcher, stride prefetcher), in three
+// regimes:
+//
+//   - full_detail: every config simulated in full detail (the baseline
+//     the earlier >=5x sampling bar is measured against);
+//   - cold_store: first process against an empty checkpoint store —
+//     functional fast-forward capture, persist, then the detailed
+//     windows per config;
+//   - warm_store: second process against the store the cold sweep
+//     populated — load+decode the warmed checkpoint set instead of
+//     recapturing, then the same detailed windows.
+//
+// The cold-vs-warm start-up delta (capture+persist vs load+decode) is
+// the per-process fast-forward cost the store eliminates when a sweep
+// is sharded across N processes or re-run. The summary — including the
+// fast-forward seconds saved — lands in BENCH_sweep.json.
 func BenchmarkHostThroughputSampledSweep(b *testing.B) {
 	w := workload.ByName("mcf")
 	s := sim.AutoSampling(5_000_000)
@@ -356,29 +372,106 @@ func BenchmarkHostThroughputSampledSweep(b *testing.B) {
 		cfgs = append(cfgs, cfg)
 	}
 	cfgs = append(cfgs, sim.DefaultConfig().WithSched(core.SchedRandom))
-	b.ResetTimer()
-	var fullNS, sampledNS int64
-	for i := 0; i < b.N; i++ {
-		fullStart := time.Now()
-		for _, cfg := range cfgs {
-			fcfg := cfg
-			fcfg.Core.MaxInsts = s.Total()
-			sim.Run(w.Build(workload.Ref), fcfg)
-		}
-		fullNS += time.Since(fullStart).Nanoseconds()
-
-		sampledStart := time.Now()
-		set := sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), s)
-		prog := w.Build(workload.Ref).Prog
+	prog := w.Build(workload.Ref).Prog
+	sweep := func(b *testing.B, set *checkpoint.Set) {
 		for _, cfg := range cfgs {
 			if _, err := sim.RunSampled(set, prog, cfg, s); err != nil {
 				b.Fatal(err)
 			}
 		}
-		sampledNS += time.Since(sampledStart).Nanoseconds()
 	}
-	b.ReportMetric(float64(fullNS)/float64(sampledNS), "sweep_speedup_x")
-	b.ReportMetric(float64(sampledNS)/1e9/float64(b.N), "sampled_sweep_s")
+	const benchKey = "bench-sweep"
+
+	type leg struct {
+		iters            int
+		totalNS, startNS int64
+		ffNS             int64
+	}
+	var full, cold, warm leg
+
+	b.Run("full_detail", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			for _, cfg := range cfgs {
+				fcfg := cfg
+				fcfg.Core.MaxInsts = s.Total()
+				sim.Run(w.Build(workload.Ref), fcfg)
+			}
+			full.totalNS += time.Since(start).Nanoseconds()
+		}
+		full.iters = b.N
+	})
+
+	b.Run("cold_store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store, err := runner.NewStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			set := sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), s)
+			if err := store.PutCheckpoint(benchKey, set); err != nil {
+				b.Fatal(err)
+			}
+			cold.startNS += time.Since(start).Nanoseconds()
+			cold.ffNS += set.HostNS
+			sweep(b, set)
+			cold.totalNS += time.Since(start).Nanoseconds()
+		}
+		cold.iters = b.N
+		b.ReportMetric(float64(cold.startNS)/1e9/float64(b.N), "capture_persist_s")
+	})
+
+	b.Run("warm_store", func(b *testing.B) {
+		store, err := runner.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Populate once, untimed: the warm leg is the second process.
+		if err := store.PutCheckpoint(benchKey,
+			sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), s)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			set, ok := store.GetCheckpoint(benchKey)
+			if !ok {
+				b.Fatal("warm store missed")
+			}
+			warm.startNS += time.Since(start).Nanoseconds()
+			sweep(b, set)
+			warm.totalNS += time.Since(start).Nanoseconds()
+		}
+		warm.iters = b.N
+		b.ReportMetric(float64(warm.startNS)/1e9/float64(b.N), "load_decode_s")
+	})
+
+	if full.iters == 0 || cold.iters == 0 || warm.iters == 0 {
+		return // a -bench filter skipped a leg; nothing to summarize
+	}
+	avgS := func(ns int64, n int) float64 { return float64(ns) / 1e9 / float64(n) }
+	summary := map[string]any{
+		"workload":          "mcf",
+		"budget_insts":      s.Total(),
+		"configs":           len(cfgs),
+		"full_sweep_s":      avgS(full.totalNS, full.iters),
+		"cold_sweep_s":      avgS(cold.totalNS, cold.iters),
+		"warm_sweep_s":      avgS(warm.totalNS, warm.iters),
+		"cold_start_s":      avgS(cold.startNS, cold.iters),
+		"warm_start_s":      avgS(warm.startNS, warm.iters),
+		"ff_saved_s":        avgS(cold.ffNS, cold.iters),
+		"startup_speedup_x": float64(cold.startNS) / float64(cold.iters) / (float64(warm.startNS) / float64(warm.iters)),
+		"sweep_speedup_x":   avgS(full.totalNS, full.iters) / avgS(warm.totalNS, warm.iters),
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sweep.json", append(out, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_sweep.json not written: %v", err)
+	}
+	b.Logf("sweep summary: %s", out)
 }
 
 // BenchmarkExtension_DivSlices exercises the Section 6.1 extension:

@@ -42,7 +42,8 @@ func run() int {
 		ist        = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
 		rs         = flag.Int("rs", 96, "reservation station entries")
 		rob        = flag.Int("rob", 224, "reorder buffer entries")
-		cacheDir   = flag.String("cache", "", "persist/reuse results in this directory")
+		storeDir   = flag.String("store", "", "persist/reuse results and checkpoint sets in this directory (process-safe)")
+		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
 		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		list       = flag.Bool("list", false, "list workloads and exit")
@@ -96,10 +97,14 @@ func run() int {
 		return 1
 	}
 
+	dir := *storeDir
+	if dir == "" {
+		dir = *cacheDir
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	r, err := runner.New(ctx, runner.Options{
-		Workers: 1, CacheDir: *cacheDir,
+		Workers: 1, CacheDir: dir,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
 	})
 	if err != nil {

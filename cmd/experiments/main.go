@@ -5,18 +5,29 @@
 // Every requested figure's simulations are submitted to one shared
 // worker pool up front: identical runs (the OOO baselines and train
 // profiles that Figures 7, 8, 10, 12 and the prefetcher study share) are
-// executed once, and -j bounds the parallelism. With -cache, results are
-// persisted as JSON keyed by spec hash + code version, so an interrupted
-// sweep (Ctrl-C, -timeout) resumes where it stopped and a repeated
-// invocation completes from cache in seconds.
+// executed once, and -j bounds the parallelism. With -store (alias
+// -cache), results are persisted keyed by spec hash + code version and
+// sampled-simulation checkpoint sets are persisted in a binary codec, so
+// an interrupted sweep (Ctrl-C, -timeout) resumes where it stopped and a
+// repeated invocation completes from the store in seconds.
+//
+// The store is safe to share between concurrent processes: advisory
+// file locks guarantee each spec simulates and each checkpoint schedule
+// fast-forwards once globally. -shard i/n splits one figure's spec list
+// deterministically across n such processes — launch n invocations of
+// the same command line with -shard 0/n .. (n-1)/n against one -store
+// and each computes its share while reading the rest from the store, so
+// every process still prints the complete (identical) figure output.
 //
 // Usage:
 //
 //	experiments -all                 # every table and figure
-//	experiments -all -j 8 -cache .crisp-cache
+//	experiments -all -j 8 -store .crisp-store
 //	experiments -fig 7               # one figure
 //	experiments -fig 9 -insts 1e6    # bigger instruction budget
 //	experiments -fig 7 -only mcf,lbm # subset of the suite
+//	experiments -fig 7 -store S -shard 0/2 &   # two-process scale-out
+//	experiments -fig 7 -store S -shard 1/2
 //	experiments -fig 7 -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -52,7 +63,9 @@ func run() int {
 		only       = flag.String("only", "", "comma-separated workload subset")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jobs       = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
-		cacheDir   = flag.String("cache", "", "persist results in this directory and reuse them across runs")
+		storeDir   = flag.String("store", "", "persist results and checkpoint sets in this directory, shared safely between processes")
+		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
+		shard      = flag.String("shard", "", "run as shard i/n of a multi-process sweep over one -store (e.g. 0/2)")
 		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		timeout    = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
@@ -74,6 +87,16 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 2
 		}
+	}
+
+	dir := *storeDir
+	if dir == "" {
+		dir = *cacheDir
+	}
+	shardIndex, shardCount, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 2
 	}
 
 	if *cpuprofile != "" {
@@ -115,8 +138,9 @@ func run() int {
 	}
 
 	r, err := runner.New(ctx, runner.Options{
-		Workers: *jobs, CacheDir: *cacheDir,
+		Workers: *jobs, CacheDir: dir,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
+		ShardIndex: shardIndex, ShardCount: shardCount,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -176,8 +200,8 @@ func run() int {
 		if err != nil {
 			stopProgress()
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			if ctx.Err() != nil && *cacheDir != "" {
-				fmt.Fprintf(os.Stderr, "experiments: completed runs are cached in %s; re-run to resume\n", *cacheDir)
+			if ctx.Err() != nil && dir != "" {
+				fmt.Fprintf(os.Stderr, "experiments: completed runs are cached in %s; re-run to resume\n", dir)
 			}
 			return 1
 		}
@@ -204,11 +228,27 @@ func run() int {
 		fmt.Printf("# fast-forward: %.2f functional MIPS (%d insts in %.1fs of checkpoint capture)\n",
 			float64(ffInsts)*1e3/float64(ffNS), ffInsts, float64(ffNS)/1e9)
 	}
-	if s := r.Stats(); s.DiskHits > 0 && !*csv {
-		fmt.Printf("# cache: %d results loaded from %s, %d simulations executed\n",
-			s.DiskHits, *cacheDir, s.Executed)
+	if s := r.Stats(); !*csv && (s.DiskHits > 0 || s.CkptDiskHits > 0 || s.LockWaitNS > 0) {
+		fmt.Printf("# store: %d results loaded from %s, %d simulations executed\n",
+			s.DiskHits, dir, s.Executed)
+		fmt.Printf("# store: %d checkpoint sets captured, %d loaded from disk, %.2fs blocked on cross-process locks\n",
+			s.CkptCaptured, s.CkptDiskHits, float64(s.LockWaitNS)/1e9)
 	}
 	return 0
+}
+
+// parseShard parses a "-shard i/n" value ("" = unsharded).
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &count); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n, e.g. 0/2", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0,%d)", s, count)
+	}
+	return index, count, nil
 }
 
 // startProgress prints a live "done/started" job counter to stderr until

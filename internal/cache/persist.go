@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+
+	"crisp/internal/codec"
+)
+
+// This file serializes warmed cache tag/LRU state for the persistent
+// checkpoint store. Geometry is not encoded: the store keys checkpoint
+// sets by hierarchy configuration, and the decoder rebuilds structure
+// from the same HierConfig the warmer used, so only the warm contents —
+// lines and the LRU clock — travel. MSHRs, statistics and attachments
+// are per-window state that CloneState already resets; they are never
+// warm at capture time and are not encoded.
+
+// line flag bits in the encoded form.
+const (
+	lineValid = 1 << iota
+	lineDirty
+	linePrefetched
+)
+
+// EncodeState serializes the level's warmed lines and LRU clock.
+func (c *Cache) EncodeState(w *codec.Writer) {
+	w.U32(uint32(len(c.lines)))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		var flags uint8
+		if ln.valid {
+			flags |= lineValid
+		}
+		if ln.dirty {
+			flags |= lineDirty
+		}
+		if ln.prefetched {
+			flags |= linePrefetched
+		}
+		w.U64(ln.tag)
+		w.U8(flags)
+		w.U64(ln.readyAt)
+		w.U64(ln.lru)
+		w.I8(ln.fillDepth)
+	}
+	w.U64(c.lruClock)
+}
+
+// DecodeState overwrites the level's lines and LRU clock with encoded
+// warm state. The line count must match this cache's geometry — the
+// caller builds the hierarchy from the config the state was warmed with.
+func (c *Cache) DecodeState(r *codec.Reader) error {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(c.lines) {
+		return fmt.Errorf("cache: %s encoded with %d lines, geometry has %d", c.cfg.Name, n, len(c.lines))
+	}
+	for i := range c.lines {
+		tag := r.U64()
+		flags := r.U8()
+		readyAt := r.U64()
+		lru := r.U64()
+		fillDepth := r.I8()
+		c.lines[i] = line{
+			tag:        tag,
+			valid:      flags&lineValid != 0,
+			dirty:      flags&lineDirty != 0,
+			prefetched: flags&linePrefetched != 0,
+			readyAt:    readyAt,
+			lru:        lru,
+			fillDepth:  fillDepth,
+		}
+	}
+	c.lruClock = r.U64()
+	return r.Err()
+}
+
+// EncodeState serializes the hierarchy's warmed state: the three levels'
+// lines and LRU clocks. The geometry (cfg) is carried out of band by the
+// checkpoint codec.
+func (h *Hierarchy) EncodeState(w *codec.Writer) {
+	h.L1I.EncodeState(w)
+	h.L1D.EncodeState(w)
+	h.LLC.EncodeState(w)
+}
+
+// DecodeHierarchy builds a fresh hierarchy from cfg and overlays encoded
+// warm state onto its levels. Timing state (MSHRs, DRAM, statistics) is
+// fresh, exactly as Hierarchy.Clone hands to a detailed window.
+func DecodeHierarchy(r *codec.Reader, cfg HierConfig) (*Hierarchy, error) {
+	h := NewHierarchy(cfg)
+	for _, c := range []*Cache{h.L1I, h.L1D, h.LLC} {
+		if err := c.DecodeState(r); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// childEnvDir is the env var that turns TestCrossProcessChild from a
+// skip into a sweep worker; its value is the shared store directory.
+const childEnvDir = "CRISP_CROSSPROC_DIR"
+
+// TestCrossProcessChild is the worker half of TestCrossProcessDedup: a
+// re-exec of this test binary that sweeps the shared store and reports
+// its counters on stdout. It skips when run as part of a normal test
+// pass.
+func TestCrossProcessChild(t *testing.T) {
+	dir := os.Getenv(childEnvDir)
+	if dir == "" {
+		t.Skip("helper process for TestCrossProcessDedup")
+	}
+	r, err := New(context.Background(), Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := sweepSpecs()
+	handles := make([]*RunHandle, len(specs))
+	for i, spec := range specs {
+		handles[i] = r.Submit(spec)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, h := range handles {
+		if _, err := h.Result(ctx); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+	}
+	b, err := json.Marshal(r.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("CHILDSTATS %s\n", b)
+}
+
+// TestCrossProcessDedup is the acceptance test for cross-process
+// single-flight: two OS processes sweep the same 4-config spec list
+// against one shared store, concurrently. Between them they must
+// fast-forward the checkpoint schedule exactly once and simulate each
+// spec exactly once (the file locks serialize, the store re-checks
+// dedup), and every entry left in the store must decode cleanly.
+func TestCrossProcessDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	type childOut struct {
+		out []byte
+		err error
+	}
+	const children = 2
+	outs := make([]childOut, children)
+	var wg sync.WaitGroup
+	for i := 0; i < children; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run=^TestCrossProcessChild$", "-test.v")
+			cmd.Env = append(os.Environ(), childEnvDir+"="+dir)
+			outs[i].out, outs[i].err = cmd.CombinedOutput()
+		}()
+	}
+	wg.Wait()
+
+	var sum Stats
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("child %d failed: %v\n%s", i, o.err, o.out)
+		}
+		var st Stats
+		found := false
+		sc := bufio.NewScanner(bytes.NewReader(o.out))
+		for sc.Scan() {
+			if line, ok := strings.CutPrefix(sc.Text(), "CHILDSTATS "); ok {
+				if err := json.Unmarshal([]byte(line), &st); err != nil {
+					t.Fatalf("child %d stats: %v", i, err)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("child %d printed no CHILDSTATS line:\n%s", i, o.out)
+		}
+		t.Logf("child %d: executed %d, disk hits %d, ckpt captured %d, ckpt disk hits %d, lock wait %v",
+			i, st.Executed, st.DiskHits, st.CkptCaptured, st.CkptDiskHits, time.Duration(st.LockWaitNS))
+		sum.Executed += st.Executed
+		sum.DiskHits += st.DiskHits
+		sum.CkptCaptured += st.CkptCaptured
+		sum.CkptDiskHits += st.CkptDiskHits
+	}
+
+	specs := int64(len(sweepSpecs()))
+	if sum.CkptCaptured != 1 {
+		t.Errorf("CkptCaptured sum = %d, want 1: the fast-forward ran more than once across processes", sum.CkptCaptured)
+	}
+	if sum.Executed != specs {
+		t.Errorf("Executed sum = %d, want %d: some spec simulated twice (or was lost)", sum.Executed, specs)
+	}
+	// The second process resolved every spec it didn't execute from the
+	// store, and at least one side loaded the checkpoint set from disk
+	// or memory rather than recapturing.
+	if sum.Executed+sum.DiskHits < 2*specs {
+		t.Errorf("Executed+DiskHits = %d, want >= %d: a spec resolved without compute or store", sum.Executed+sum.DiskHits, 2*specs)
+	}
+
+	// No corrupt or temporary debris: every surviving entry decodes.
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".lock"):
+			t.Errorf("lock file %s survived both sweeps", name)
+		case strings.HasSuffix(name, ".tmp"):
+			t.Errorf("temp file %s survived both sweeps", name)
+		case strings.HasSuffix(name, ".bin"):
+			key := strings.TrimSuffix(strings.TrimPrefix(name, kindCkpt+"-"), ".bin")
+			if _, ok := s.GetCheckpoint(key); !ok {
+				t.Errorf("checkpoint entry %s is corrupt", name)
+			}
+			checked++
+		case strings.HasSuffix(name, ".json"):
+			kind, key, ok := strings.Cut(strings.TrimSuffix(name, ".json"), "-")
+			if !ok {
+				t.Errorf("unrecognized store file %s", name)
+				continue
+			}
+			var v map[string]any
+			if !s.Get(kind, key, &v) {
+				t.Errorf("store entry %s is corrupt", name)
+			}
+			checked++
+		}
+	}
+	if checked < int(specs)+1 { // one result per spec + the checkpoint set
+		t.Errorf("store holds %d entries, want at least %d", checked, specs+1)
+	}
+}

@@ -42,6 +42,15 @@ type RunRecord struct {
 	// executed (Cycles == SkippedCycles + HostIters per window).
 	SkippedCycles uint64 `json:"skipped_cycles"`
 	HostIters     uint64 `json:"host_iters"`
+
+	// Persistent-store provenance: whether this run's checkpoint set or
+	// result came from the shared store rather than being computed here,
+	// and how long the producing task blocked on cross-process file
+	// locks. SpecStoreHit mirrors Cached (the spec_store_hit column name
+	// matches the store counter it reports).
+	CkptStoreHit bool  `json:"checkpoint_store_hit"`
+	SpecStoreHit bool  `json:"spec_store_hit"`
+	LockWaitNS   int64 `json:"lock_wait_ns"`
 }
 
 // newRunRecord flattens a spec/result pair into a record.
@@ -76,6 +85,7 @@ func newRunRecord(spec sim.RunSpec, res *core.Result, cached bool) RunRecord {
 		Windows:       res.SampledWindows,
 		SkippedCycles: res.SkippedCycles,
 		HostIters:     res.HostIters,
+		SpecStoreHit:  cached,
 	}
 }
 
@@ -160,7 +170,8 @@ func csvHeader() []string {
 		"mlp_mean",
 		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean",
 		"host_ns", "host_ff_ns", "ff_insts", "windows",
-		"skipped_cycles", "host_iters")
+		"skipped_cycles", "host_iters",
+		"checkpoint_store_hit", "spec_store_hit", "lock_wait_ns")
 }
 
 func csvRow(rec RunRecord) []string {
@@ -193,5 +204,8 @@ func csvRow(rec RunRecord) []string {
 		fmt.Sprintf("%d", rec.FFInsts),
 		fmt.Sprintf("%d", rec.Windows),
 		fmt.Sprintf("%d", rec.SkippedCycles),
-		fmt.Sprintf("%d", rec.HostIters))
+		fmt.Sprintf("%d", rec.HostIters),
+		fmt.Sprintf("%t", rec.CkptStoreHit),
+		fmt.Sprintf("%t", rec.SpecStoreHit),
+		fmt.Sprintf("%d", rec.LockWaitNS))
 }

@@ -14,9 +14,12 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configure a Runner.
@@ -32,15 +35,29 @@ type Options struct {
 	// MetricsCSV, when non-empty, appends the same records as flat CSV
 	// rows (bucket slot counts, histogram means/p99s).
 	MetricsCSV string
+	// ShardIndex/ShardCount split top-level submissions across cooperating
+	// processes sharing one CacheDir: each process executes the specs whose
+	// content key hashes to its shard and polls the shared store for the
+	// rest, stealing orphaned specs after a grace period so a dead peer
+	// never stalls the sweep. ShardCount <= 1 disables sharding; sharding
+	// requires CacheDir (the store is the only channel between shards).
+	ShardIndex int
+	ShardCount int
+	// StealGrace overrides how long a non-owning shard waits for an absent
+	// owner before computing a spec itself (0 = 2s default).
+	StealGrace time.Duration
 }
 
 // Stats is a snapshot of the runner's progress counters.
 type Stats struct {
-	Started  int64 // unique tasks registered (deduped)
-	Done     int64 // tasks finished (success or failure)
-	Failed   int64 // tasks finished with an error
-	Executed int64 // timing simulations actually run on the pool
-	DiskHits int64 // results served from the persistent cache
+	Started      int64 // unique tasks registered (deduped)
+	Done         int64 // tasks finished (success or failure)
+	Failed       int64 // tasks finished with an error
+	Executed     int64 // timing simulations actually run on the pool
+	DiskHits     int64 // results served from the persistent cache
+	CkptCaptured int64 // checkpoint sets captured (fast-forward executed)
+	CkptDiskHits int64 // checkpoint sets loaded from the persistent store
+	LockWaitNS   int64 // total time blocked on cross-process file locks
 }
 
 // Runner is a context-aware single-flight executor: each distinct task
@@ -52,10 +69,14 @@ type Runner struct {
 	store *Store
 	sink  *metricsSink
 
+	shardIndex, shardCount int
+	stealGrace             time.Duration
+
 	mu    sync.Mutex
 	calls map[string]*call
 
 	started, done, failed, executed, diskHits atomic.Int64
+	ckptCaptured, ckptDiskHits, lockWaitNS    atomic.Int64
 }
 
 type call struct {
@@ -74,6 +95,18 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.ShardCount > 1 {
+		if opts.CacheDir == "" {
+			return nil, fmt.Errorf("runner: sharding (%d shards) requires a cache dir: shards exchange results only through the shared store", opts.ShardCount)
+		}
+		if opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount {
+			return nil, fmt.Errorf("runner: shard index %d out of range [0,%d)", opts.ShardIndex, opts.ShardCount)
+		}
+	}
+	stealGrace := opts.StealGrace
+	if stealGrace <= 0 {
+		stealGrace = 2 * time.Second
+	}
 	store, err := NewStore(opts.CacheDir)
 	if err != nil {
 		return nil, err
@@ -83,11 +116,14 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 		return nil, err
 	}
 	return &Runner{
-		ctx:   ctx,
-		sem:   make(chan struct{}, workers),
-		store: store,
-		sink:  sink,
-		calls: make(map[string]*call),
+		ctx:        ctx,
+		sem:        make(chan struct{}, workers),
+		store:      store,
+		sink:       sink,
+		shardIndex: opts.ShardIndex,
+		shardCount: opts.ShardCount,
+		stealGrace: stealGrace,
+		calls:      make(map[string]*call),
 	}, nil
 }
 
@@ -101,11 +137,14 @@ func (r *Runner) Close() error { return r.sink.close() }
 // progress fraction, not a fixed total.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Started:  r.started.Load(),
-		Done:     r.done.Load(),
-		Failed:   r.failed.Load(),
-		Executed: r.executed.Load(),
-		DiskHits: r.diskHits.Load(),
+		Started:      r.started.Load(),
+		Done:         r.done.Load(),
+		Failed:       r.failed.Load(),
+		Executed:     r.executed.Load(),
+		DiskHits:     r.diskHits.Load(),
+		CkptCaptured: r.ckptCaptured.Load(),
+		CkptDiskHits: r.ckptDiskHits.Load(),
+		LockWaitNS:   r.lockWaitNS.Load(),
 	}
 }
 
@@ -213,4 +252,96 @@ func (r *Runner) do(ctx context.Context, key string, fn func(context.Context) (a
 // later do() with the same key joins the in-flight computation.
 func (r *Runner) background(key string, fn func(context.Context) (any, error)) {
 	go r.do(r.ctx, key, fn) //nolint:errcheck // result observed via the memo table
+}
+
+// lockTask acquires the cross-process file lock for (kind, key),
+// releasing the caller's worker token while blocked so lock waits never
+// idle the pool, and charging the wait to the LockWaitNS counter. It
+// returns the release function and the wait in nanoseconds; on a
+// disabled store it is a no-op.
+func (r *Runner) lockTask(ctx context.Context, kind, key string) (func(), int64, error) {
+	if !r.store.Enabled() {
+		return func() {}, 0, nil
+	}
+	s, _ := ctx.Value(slotCtxKey{}).(*slot)
+	held := s != nil && s.held
+	if held {
+		r.release(s)
+	}
+	rel, waited, err := r.store.Lock(ctx, kind, key)
+	r.lockWaitNS.Add(waited.Nanoseconds())
+	if held {
+		if aerr := r.acquire(ctx, s); aerr != nil {
+			if err == nil {
+				rel()
+			}
+			return nil, 0, aerr
+		}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return rel, waited.Nanoseconds(), nil
+}
+
+// ownsKey reports whether this shard executes the task with the given
+// content key. Keys are hex digests, so their leading 32 bits are a
+// uniform hash; every shard computes the same assignment independently.
+func (r *Runner) ownsKey(key string) bool {
+	if r.shardCount <= 1 || len(key) < 8 {
+		return true
+	}
+	v, err := strconv.ParseUint(key[:8], 16, 64)
+	if err != nil {
+		return true
+	}
+	return int(v%uint64(r.shardCount)) == r.shardIndex
+}
+
+// shardPollInterval paces a non-owning shard's store probes.
+const shardPollInterval = 25 * time.Millisecond
+
+// submitTask gates a top-level submission on shard ownership. A
+// non-owned key polls the shared store (worker token released, so
+// waiting costs no parallelism) until the owner publishes, and falls
+// through to computing it locally if no live owner shows up within the
+// steal grace — so a crashed or lagging peer delays its specs, never
+// loses them. Only Submit* paths pass through here; inline dependency
+// resolution (Run/Analysis called from inside another task) always
+// computes, so a shard can never deadlock waiting for intermediate
+// state only another shard would produce. Duplicate computation across
+// shards is still prevented by the per-key file lock inside each task.
+func (r *Runner) submitTask(kind, key string, fn func(context.Context) (any, error)) func(context.Context) (any, error) {
+	if r.shardCount <= 1 || r.ownsKey(key) {
+		return fn
+	}
+	return func(ctx context.Context) (any, error) {
+		s, _ := ctx.Value(slotCtxKey{}).(*slot)
+		held := s != nil && s.held
+		if held {
+			r.release(s)
+		}
+		deadline := time.Now().Add(r.stealGrace)
+		ticker := time.NewTicker(shardPollInterval)
+		defer ticker.Stop()
+		for !r.store.Has(kind, key) {
+			if r.store.LockHeld(kind, key) {
+				// A peer is computing it right now: keep waiting.
+				deadline = time.Now().Add(r.stealGrace)
+			} else if time.Now().After(deadline) {
+				break // no owner in sight: steal the spec
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-ticker.C:
+			}
+		}
+		if held {
+			if err := r.acquire(ctx, s); err != nil {
+				return nil, err
+			}
+		}
+		return fn(ctx)
+	}
 }

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"crisp/internal/sim"
+)
+
+// sweepSpecs is the 4-config sampled sweep the sharding and
+// cross-process tests split: one schedule (so one checkpoint set),
+// four prefetcher configs.
+func sweepSpecs() []sim.RunSpec {
+	s := sim.Sampling{Warm: 15_000, Window: 5_000, Count: 2}
+	specs := make([]sim.RunSpec, 0, 4)
+	for _, pf := range []sim.PrefetcherKind{sim.PFBOPStream, sim.PFNone, sim.PFStride, sim.PFGHB} {
+		specs = append(specs, sim.RunSpec{Workload: "pointerchase", Sampling: &s, Prefetcher: pf})
+	}
+	return specs
+}
+
+// TestShardValidation: sharding without a store, or with an
+// out-of-range index, is a configuration error, not a silent hang.
+func TestShardValidation(t *testing.T) {
+	if _, err := New(context.Background(), Options{ShardCount: 2}); err == nil {
+		t.Error("sharding without a cache dir accepted")
+	}
+	if _, err := New(context.Background(), Options{ShardCount: 2, ShardIndex: 2, CacheDir: t.TempDir()}); err == nil {
+		t.Error("shard index == shard count accepted")
+	}
+	if _, err := New(context.Background(), Options{ShardCount: 2, ShardIndex: -1, CacheDir: t.TempDir()}); err == nil {
+		t.Error("negative shard index accepted")
+	}
+}
+
+// TestShardOwnership: the key->shard assignment is deterministic,
+// total, and disjoint — every key has exactly one owner.
+func TestShardOwnership(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3
+	shards := make([]*Runner, n)
+	for i := range shards {
+		shards[i] = newRunner(t, Options{CacheDir: dir, ShardIndex: i, ShardCount: n})
+	}
+	for _, spec := range sweepSpecs() {
+		owners := 0
+		for _, r := range shards {
+			if r.ownsKey(spec.Key()) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("spec %s has %d owners, want exactly 1", spec.Key(), owners)
+		}
+	}
+	// Unsharded runners own everything.
+	solo := newRunner(t, Options{})
+	if !solo.ownsKey(sweepSpecs()[0].Key()) {
+		t.Error("unsharded runner disowns a key")
+	}
+}
+
+// TestShardedSweepNoDuplicates is the scale-out contract: two runners
+// over one store, each submitting the SAME figure spec list, split the
+// work — every spec simulates exactly once globally, every checkpoint
+// fast-forward runs exactly once globally, and both sides resolve
+// identical results.
+func TestShardedSweepNoDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	specs := sweepSpecs()
+	// A long steal grace isolates the ownership split from the stealing
+	// fallback: any duplicate execution here is a real dedup bug.
+	mk := func(i int) *Runner {
+		return newRunner(t, Options{Workers: 2, CacheDir: dir, ShardIndex: i, ShardCount: 2, StealGrace: time.Minute})
+	}
+	r0, r1 := mk(0), mk(1)
+	h0 := make([]*RunHandle, len(specs))
+	h1 := make([]*RunHandle, len(specs))
+	for i, spec := range specs {
+		h0[i] = r0.Submit(spec)
+		h1[i] = r1.Submit(spec)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i := range specs {
+		a, err := h0[i].Result(ctx)
+		if err != nil {
+			t.Fatalf("shard 0 spec %d: %v", i, err)
+		}
+		b, err := h1[i].Result(ctx)
+		if err != nil {
+			t.Fatalf("shard 1 spec %d: %v", i, err)
+		}
+		if a.Cycles != b.Cycles || a.Insts != b.Insts || a.IPC() != b.IPC() {
+			t.Errorf("spec %d: shards disagree: %d vs %d cycles", i, a.Cycles, b.Cycles)
+		}
+	}
+	s0, s1 := r0.Stats(), r1.Stats()
+	if total := s0.Executed + s1.Executed; total != int64(len(specs)) {
+		t.Errorf("Executed sum = %d, want %d (each spec simulates once globally)", total, len(specs))
+	}
+	if caps := s0.CkptCaptured + s1.CkptCaptured; caps != 1 {
+		t.Errorf("CkptCaptured sum = %d, want 1 (one schedule, one fast-forward globally)", caps)
+	}
+	if s0.Executed == 0 || s1.Executed == 0 {
+		t.Logf("note: ownership split was %d/%d for this key set", s0.Executed, s1.Executed)
+	}
+}
+
+// TestShardSteal: a shard whose peer never shows up must take over the
+// peer's specs after the grace period instead of hanging the sweep.
+func TestShardSteal(t *testing.T) {
+	dir := t.TempDir()
+	r := newRunner(t, Options{Workers: 2, CacheDir: dir, ShardIndex: 0, ShardCount: 4, StealGrace: 100 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i, spec := range sweepSpecs() {
+		res, err := r.Submit(spec).Result(ctx)
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if res.Insts == 0 {
+			t.Errorf("spec %d: empty result", i)
+		}
+	}
+	if ex := r.Stats().Executed; ex != int64(len(sweepSpecs())) {
+		t.Errorf("Executed = %d, want %d (lone shard steals everything)", ex, len(sweepSpecs()))
+	}
+}

@@ -6,12 +6,18 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+
+	"crisp/internal/checkpoint"
 )
 
-// Store is the persistent result cache: one JSON file per task, named by
-// kind and content key. Keys already hash sim.CodeVersion, so a
-// simulator change naturally misses every stale entry instead of serving
-// wrong numbers. A nil-dir Store stores nothing.
+// Store is the persistent result cache shared by every process sweeping
+// against one directory: one file per task, named by kind and content
+// key. Keys already hash sim.CodeVersion, so a simulator change
+// naturally misses every stale entry instead of serving wrong numbers.
+// Small results (runs, analyses, footprints) are JSON; checkpoint sets
+// use the binary checkpoint codec. All writes are atomic
+// (fsync-before-rename), and corrupt entries are deleted on read so the
+// next producer recomputes them. A nil-dir Store stores nothing.
 type Store struct {
 	dir string
 }
@@ -21,6 +27,7 @@ const (
 	kindRun       = "run"
 	kindAnalysis  = "analysis"
 	kindFootprint = "footprint"
+	kindCkpt      = "ckpt"
 )
 
 // NewStore returns a Store rooted at dir, creating it if needed. An
@@ -39,15 +46,32 @@ func NewStore(dir string) (*Store, error) {
 func (s *Store) Enabled() bool { return s.dir != "" }
 
 func (s *Store) path(kind, key string) string {
-	return filepath.Join(s.dir, kind+"-"+key+".json")
+	ext := ".json"
+	if kind == kindCkpt {
+		ext = ".bin"
+	}
+	return filepath.Join(s.dir, kind+"-"+key+ext)
+}
+
+// Has reports whether an entry exists for (kind, key) without decoding
+// it. Shard peers poll it to learn when the owning process has published
+// a result; validity is checked by the Get that follows.
+func (s *Store) Has(kind, key string) bool {
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(s.path(kind, key))
+	return err == nil
 }
 
 // Get loads the cached value for (kind, key) into v, reporting whether a
-// valid entry existed. Corrupt or unreadable entries count as misses.
-// Decoding goes through a fresh value of v's type: json.Unmarshal
-// populates fields as it parses and only then reports an error, so
-// decoding straight into v would let a truncated or corrupt entry leave
-// the caller's value half-written while Get reports a miss.
+// valid entry existed. Corrupt or unreadable entries count as misses and
+// are deleted, so the caller's recompute can overwrite them and later
+// readers do not trip over the same damage. Decoding goes through a
+// fresh value of v's type: json.Unmarshal populates fields as it parses
+// and only then reports an error, so decoding straight into v would let
+// a truncated or corrupt entry leave the caller's value half-written
+// while Get reports a miss.
 func (s *Store) Get(kind, key string, v any) bool {
 	if s.dir == "" {
 		return false
@@ -62,14 +86,17 @@ func (s *Store) Get(kind, key string, v any) bool {
 	}
 	fresh := reflect.New(rv.Type().Elem())
 	if json.Unmarshal(b, fresh.Interface()) != nil {
+		os.Remove(s.path(kind, key)) // delete-and-recompute
 		return false
 	}
 	rv.Elem().Set(fresh.Elem())
 	return true
 }
 
-// Put persists v under (kind, key). The write is atomic (temp file +
-// rename) so an interrupted sweep never leaves a torn entry behind.
+// Put persists v under (kind, key). The write is atomic and durable
+// (temp file + fsync + rename + directory fsync), so neither an
+// interrupted sweep nor a crash right after the rename can leave a torn
+// or vanishing entry for another process to read.
 func (s *Store) Put(kind, key string, v any) error {
 	if s.dir == "" {
 		return nil
@@ -78,18 +105,69 @@ func (s *Store) Put(kind, key string, v any) error {
 	if err != nil {
 		return err
 	}
+	return s.writeAtomic(kind, key, b)
+}
+
+// GetCheckpoint loads and decodes the checkpoint set stored under key.
+// A corrupt or key-mismatched file is deleted (the next capture rewrites
+// it) and reported as a miss.
+func (s *Store) GetCheckpoint(key string) (*checkpoint.Set, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(kindCkpt, key))
+	if err != nil {
+		return nil, false
+	}
+	set, err := checkpoint.DecodeSet(b, key)
+	if err != nil {
+		os.Remove(s.path(kindCkpt, key)) // delete-and-recompute
+		return nil, false
+	}
+	return set, true
+}
+
+// PutCheckpoint persists a captured checkpoint set under key with the
+// same atomic, durable discipline as Put.
+func (s *Store) PutCheckpoint(key string, set *checkpoint.Set) error {
+	if s.dir == "" {
+		return nil
+	}
+	return s.writeAtomic(kindCkpt, key, checkpoint.EncodeSet(set, key))
+}
+
+// writeAtomic writes data to (kind, key) via a temp file, fsyncing the
+// file before the rename and the directory after it.
+func (s *Store) writeAtomic(kind, key string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, kind+"-*.tmp")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	cleanup := func() { tmp.Close(); os.Remove(tmp.Name()) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	// fsync before rename: otherwise a crash can leave the renamed file
+	// present but empty or truncated — exactly the torn entry the atomic
+	// rename is supposed to prevent.
+	if err := tmp.Sync(); err != nil {
+		cleanup()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), s.path(kind, key))
+	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// fsync the directory so the rename itself survives a crash; other
+	// processes polling Has must not observe the entry and then lose it.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

@@ -2,7 +2,12 @@ package runner
 
 import (
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"crisp/internal/sim"
+	"crisp/internal/workload"
 )
 
 type storedThing struct {
@@ -60,5 +65,99 @@ func TestStoreCorruptEntry(t *testing.T) {
 	var got storedThing
 	if !s.Get(kindRun, "k2", &got) || got != (storedThing{A: 5, B: 6, Name: "ok"}) {
 		t.Errorf("valid entry failed to round-trip: %+v", got)
+	}
+}
+
+// TestStoreDeletesCorruptEntry: a corrupt entry is removed on the miss,
+// so the recompute that follows can publish cleanly and later readers
+// never trip over the same damage.
+func TestStoreDeletesCorruptEntry(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(kindRun, "k"), []byte(`{"A":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v storedThing
+	if s.Get(kindRun, "k", &v) {
+		t.Fatal("corrupt entry reported as a hit")
+	}
+	if _, err := os.Stat(s.path(kindRun, "k")); !os.IsNotExist(err) {
+		t.Error("corrupt entry not deleted on miss")
+	}
+}
+
+// TestStoreCheckpointEntry: checkpoint sets round-trip through the
+// binary codec path, a truncated file (the torn write the fsync+rename
+// discipline prevents, injected by hand) is a miss that deletes the
+// entry, and the slot is rewritable afterwards.
+func TestStoreCheckpointEntry(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.ByName("pointerchase")
+	sched := sim.Sampling{Warm: 15_000, Window: 5_000, Count: 2}
+	set := sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), sched)
+	key := checkpointKey("pointerchase", workload.Ref, sched)
+
+	if _, ok := s.GetCheckpoint(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.PutCheckpoint(key, set); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(kindCkpt, key) {
+		t.Error("Has = false after PutCheckpoint")
+	}
+	got, ok := s.GetCheckpoint(key)
+	if !ok {
+		t.Fatal("miss after PutCheckpoint")
+	}
+	if len(got.Points) != len(set.Points) || got.FFInsts != set.FFInsts || got.Hier != set.Hier {
+		t.Errorf("checkpoint set did not round-trip: %d/%d points", len(got.Points), len(set.Points))
+	}
+
+	// Truncate the entry to a third: the CRC/length checks must turn it
+	// into a miss AND delete the file so the recapture can publish.
+	path := s.path(kindCkpt, key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint(key); ok {
+		t.Fatal("truncated checkpoint entry reported as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("truncated checkpoint entry not deleted on miss")
+	}
+	if err := s.PutCheckpoint(key, set); err != nil {
+		t.Fatalf("re-publish after corrupt delete: %v", err)
+	}
+	if _, ok := s.GetCheckpoint(key); !ok {
+		t.Error("miss after re-publishing over a deleted entry")
+	}
+
+	// A key mismatch (file renamed over the wrong slot) is also a miss.
+	if err := os.Rename(s.path(kindCkpt, key), s.path(kindCkpt, "wrong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetCheckpoint("wrong"); ok {
+		t.Error("checkpoint served under a mismatched content key")
+	}
+
+	// No temp files left behind by any of the writes above.
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("stray temp file %s", filepath.Join(s.dir, e.Name()))
+		}
 	}
 }

@@ -52,9 +52,11 @@ func (r *Runner) Run(ctx context.Context, spec sim.RunSpec) (*core.Result, error
 }
 
 // Submit starts spec on the pool without waiting and returns a handle
-// whose Result joins the in-flight (or finished) computation.
+// whose Result joins the in-flight (or finished) computation. Under
+// sharding, submissions for keys another process owns wait on the
+// shared store instead of computing.
 func (r *Runner) Submit(spec sim.RunSpec) *RunHandle {
-	r.background("run|"+spec.Key(), r.runTask(spec))
+	r.background("run|"+spec.Key(), r.submitTask(kindRun, spec.Key(), r.runTask(spec)))
 	return &RunHandle{r: r, Spec: spec}
 }
 
@@ -86,6 +88,21 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 			r.sink.record(newRunRecord(spec, &cached, true))
 			return &cached, nil
 		}
+		// Cross-process single-flight: hold the spec's file lock across
+		// compute-and-publish. A process losing the race blocks here,
+		// then finds the winner's entry on the re-check.
+		unlock, lockNS, err := r.lockTask(ctx, kindRun, key)
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
+		if r.store.Get(kindRun, key, &cached) {
+			r.diskHits.Add(1)
+			rec := newRunRecord(spec, &cached, true)
+			rec.LockWaitNS = lockNS
+			r.sink.record(rec)
+			return &cached, nil
+		}
 		var a *crisp.Analysis
 		if spec.Crisp != nil {
 			// Sampled specs carry no Insts; the analysis window matches the
@@ -108,16 +125,18 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 			img.Prog = a.Apply(img.Prog)
 		}
 		var res *core.Result
+		var ckptHit bool
 		if spec.Sampling != nil {
 			// Every config sharing (workload, input, schedule) restores
 			// from one memoized checkpoint set: the functional prefix runs
 			// once per set, not once per config. Critical tags change
 			// neither functional behaviour nor instruction positions, so
 			// untagged checkpoints serve tagged programs.
-			set, cerr := r.checkpointSet(ctx, spec.Workload, variant, *spec.Sampling)
+			set, fromStore, cerr := r.checkpointSet(ctx, spec.Workload, variant, *spec.Sampling)
 			if cerr != nil {
 				return nil, cerr
 			}
+			ckptHit = fromStore
 			res, err = sim.RunSampledContext(ctx, set, img.Prog, cfg, *spec.Sampling)
 		} else {
 			res, err = sim.RunContext(ctx, img, cfg)
@@ -128,7 +147,10 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		r.executed.Add(1)
 		// Cache-write failures only cost a future re-simulation.
 		_ = r.store.Put(kindRun, key, res)
-		r.sink.record(newRunRecord(spec, res, false))
+		rec := newRunRecord(spec, res, false)
+		rec.CkptStoreHit = ckptHit
+		rec.LockWaitNS = lockNS
+		r.sink.record(rec)
 		return res, nil
 	}
 }
@@ -168,7 +190,7 @@ func (r *Runner) Analysis(ctx context.Context, spec AnalysisSpec) (*crisp.Analys
 
 // SubmitAnalysis starts the pipeline without waiting.
 func (r *Runner) SubmitAnalysis(spec AnalysisSpec) *AnalysisHandle {
-	r.background("analysis|"+spec.Key(), r.analysisTask(spec))
+	r.background("analysis|"+spec.Key(), r.submitTask(kindAnalysis, spec.Key(), r.analysisTask(spec)))
 	return &AnalysisHandle{r: r, Spec: spec}
 }
 
@@ -190,6 +212,15 @@ func (r *Runner) analysisTask(spec AnalysisSpec) func(context.Context) (any, err
 			return nil, err
 		}
 		var cached crisp.Analysis
+		if r.store.Get(kindAnalysis, spec.Key(), &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		unlock, _, err := r.lockTask(ctx, kindAnalysis, spec.Key())
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
 		if r.store.Get(kindAnalysis, spec.Key(), &cached) {
 			r.diskHits.Add(1)
 			return &cached, nil
@@ -226,24 +257,73 @@ func (r *Runner) trace(ctx context.Context, name string, insts uint64) (*trace.T
 	return v.(*trace.Trace), nil
 }
 
-// checkpointSet memoizes the sampled-simulation checkpoint capture per
+// ckptResult carries a resolved checkpoint set through the memo table
+// along with whether it was loaded from the persistent store (fed into
+// per-run metrics) rather than captured by fast-forwarding.
+type ckptResult struct {
+	set       *checkpoint.Set
+	fromStore bool
+}
+
+// checkpointKey is the content key a checkpoint set persists under. It
+// hashes everything that shapes a capture — code version, workload,
+// input variant, schedule, warmed cache geometry and front-end
+// structure sizes — so a simulator or configuration change misses every
+// stale file instead of restoring wrong state.
+func checkpointKey(name string, variant workload.Variant, s sim.Sampling) string {
+	cfg := sim.DefaultConfig()
+	hier, err := json.Marshal(cfg.Hier)
+	if err != nil { // unreachable: HierConfig is plain data
+		panic(fmt.Sprintf("runner: marshal HierConfig: %v", err))
+	}
+	msg := fmt.Sprintf("%s|ckpt|%s|%d|%d|%d|%d|%d|btb=%d/%d|ras=%d|hier=%s",
+		sim.CodeVersion, name, variant, s.Skip, s.Warm, s.Window, s.Count,
+		cfg.Core.BTBEntries, cfg.Core.BTBWays, cfg.Core.RASEntries, hier)
+	h := sha256.Sum256([]byte(msg))
+	return hex.EncodeToString(h[:16])
+}
+
+// checkpointSet resolves the sampled-simulation checkpoint capture per
 // (workload, variant, schedule): the cross-config sharing at the heart
-// of sampling. Sets hold copy-on-write memory snapshots and warmed
-// structure templates, so like traces they live in memory only; the
-// sampled results derived from them are what the disk cache persists.
-func (r *Runner) checkpointSet(ctx context.Context, name string, variant workload.Variant, s sim.Sampling) (*checkpoint.Set, error) {
-	key := fmt.Sprintf("ckpt|%s|%d|%d|%d|%d|%d", name, variant, s.Skip, s.Warm, s.Window, s.Count)
-	v, err := r.do(ctx, key, func(ctx context.Context) (any, error) {
+// of sampling. Within a process the set is memoized; across processes
+// it persists in the store under the binary checkpoint codec, so a
+// second process (or a re-run) decodes the warmed state instead of
+// re-executing the functional fast-forward. The reported bool is true
+// when the set came from the store.
+func (r *Runner) checkpointSet(ctx context.Context, name string, variant workload.Variant, s sim.Sampling) (*checkpoint.Set, bool, error) {
+	key := checkpointKey(name, variant, s)
+	v, err := r.do(ctx, "ckpt|"+key, func(ctx context.Context) (any, error) {
+		if set, ok := r.store.GetCheckpoint(key); ok {
+			r.ckptDiskHits.Add(1)
+			return ckptResult{set, true}, nil
+		}
 		w, err := resolveWorkload(name)
 		if err != nil {
 			return nil, err
 		}
-		return sim.CaptureCheckpoints(w.Build(variant), sim.DefaultConfig(), s), nil
+		// Hold the capture lock across fast-forward and publish: two
+		// processes sweeping one store fast-forward each schedule once
+		// between them, not once each.
+		unlock, _, err := r.lockTask(ctx, kindCkpt, key)
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
+		if set, ok := r.store.GetCheckpoint(key); ok {
+			r.ckptDiskHits.Add(1)
+			return ckptResult{set, true}, nil
+		}
+		set := sim.CaptureCheckpoints(w.Build(variant), sim.DefaultConfig(), s)
+		r.ckptCaptured.Add(1)
+		// A failed write only costs the next process a recapture.
+		_ = r.store.PutCheckpoint(key, set)
+		return ckptResult{set, false}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return v.(*checkpoint.Set), nil
+	cr := v.(ckptResult)
+	return cr.set, cr.fromStore, nil
 }
 
 // Footprint resolves the Figure 12 code-size metrics for an analysis.
@@ -257,7 +337,7 @@ func (r *Runner) Footprint(ctx context.Context, spec AnalysisSpec) (*crisp.Footp
 
 // SubmitFootprint starts the footprint measurement without waiting.
 func (r *Runner) SubmitFootprint(spec AnalysisSpec) *FootprintHandle {
-	r.background("footprint|"+spec.Key(), r.footprintTask(spec))
+	r.background("footprint|"+spec.Key(), r.submitTask(kindFootprint, spec.Key(), r.footprintTask(spec)))
 	return &FootprintHandle{r: r, Spec: spec}
 }
 
@@ -279,6 +359,15 @@ func (r *Runner) footprintTask(spec AnalysisSpec) func(context.Context) (any, er
 			return nil, err
 		}
 		var cached crisp.Footprint
+		if r.store.Get(kindFootprint, spec.Key(), &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		unlock, _, err := r.lockTask(ctx, kindFootprint, spec.Key())
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
 		if r.store.Get(kindFootprint, spec.Key(), &cached) {
 			r.diskHits.Add(1)
 			return &cached, nil
