@@ -9,6 +9,7 @@ package repro
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -321,6 +322,72 @@ func BenchmarkHostThroughput(b *testing.B) {
 			b.ReportMetric(float64(skipped)/float64(cycles), "skipped_frac")
 		})
 	}
+}
+
+// BenchmarkHostThroughputMulticore measures how simulator throughput
+// scales with co-scheduled cores: 1, 2 and 4 cores stepped in lockstep
+// over one shared LLC and DRAM, alternating the co-location pair
+// (tailchase on even cores, streambatch on odd). Reported per width:
+// aggregate simulated MIPS across all cores and the skipped-cycle
+// fraction — lockstep merges idle skips across cores (the clock jumps
+// only to the minimum proven target), so the fraction dropping with
+// width quantifies what contention-visible co-scheduling costs the PR 5
+// fast path. The summary lands in BENCH_multicore.json.
+func BenchmarkHostThroughputMulticore(b *testing.B) {
+	pair := []string{"tailchase", "streambatch"}
+	type leg struct {
+		mips, skippedFrac float64
+	}
+	legs := map[string]leg{}
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		b.Run(fmt.Sprintf("%dcore", n), func(b *testing.B) {
+			var insts, cycles, skipped, hostNS uint64
+			for i := 0; i < b.N; i++ {
+				imgs := make([]*sim.Image, n)
+				cfgs := make([]sim.Config, n)
+				for c := 0; c < n; c++ {
+					imgs[c] = workload.ByName(pair[c%2]).Build(workload.Ref)
+					cfgs[c] = sim.DefaultConfig()
+					cfgs[c].Core.MaxInsts = benchInsts
+				}
+				m, err := sim.RunMulti(imgs, cfgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range m.Cores {
+					insts += r.Insts
+					cycles += r.Cycles
+					skipped += r.SkippedCycles
+				}
+				hostNS += uint64(m.HostNS)
+			}
+			mips := float64(insts) * 1e3 / float64(hostNS)
+			frac := float64(skipped) / float64(cycles)
+			b.ReportMetric(mips, "sim_MIPS")
+			b.ReportMetric(frac, "skipped_frac")
+			legs[fmt.Sprintf("%dcore", n)] = leg{mips: mips, skippedFrac: frac}
+		})
+	}
+	if len(legs) < 3 {
+		return // a -bench filter skipped a width; nothing to summarize
+	}
+	summary := map[string]any{
+		"pair":           pair,
+		"insts_per_core": benchInsts,
+	}
+	for k, l := range legs {
+		summary[k+"_sim_MIPS"] = l.mips
+		summary[k+"_skipped_frac"] = l.skippedFrac
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_multicore.json", append(out, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_multicore.json not written: %v", err)
+	}
+	b.Logf("multicore summary: %s", out)
 }
 
 // BenchmarkHostThroughputFastForward measures the functional

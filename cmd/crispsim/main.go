@@ -10,7 +10,14 @@
 //	crispsim -workload lbm -sched ooo
 //	crispsim -workload moses -sched ibda -ist 1024
 //	crispsim -workload mcf -sched crisp -cache .crisp-cache
+//	crispsim -cores tailchase,streambatch -sched crisp
 //	crispsim -list
+//
+// -cores runs a multi-core co-scheduled simulation: the listed workloads
+// run on cores 0..n-1 over one shared LLC and DRAM, with -sched applied
+// to core 0 (the latency-critical slot) and every neighbour on the OOO
+// baseline. -shard i/n joins a multi-process sweep over one -store, as
+// in cmd/experiments.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 
 	"crisp/internal/core"
 	"crisp/internal/crisp"
@@ -42,8 +50,10 @@ func run() int {
 		ist        = flag.Int("ist", 1024, "IBDA instruction-slice-table entries (0 = infinite)")
 		rs         = flag.Int("rs", 96, "reservation station entries")
 		rob        = flag.Int("rob", 224, "reorder buffer entries")
+		cores      = flag.String("cores", "", "comma-separated workloads for a multi-core run; -sched applies to core 0, neighbours run ooo")
 		storeDir   = flag.String("store", "", "persist/reuse results and checkpoint sets in this directory (process-safe)")
 		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
+		shard      = flag.String("shard", "", "run as shard i/n of a multi-process sweep over one -store (e.g. 0/2)")
 		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		list       = flag.Bool("list", false, "list workloads and exit")
@@ -101,17 +111,35 @@ func run() int {
 	if dir == "" {
 		dir = *cacheDir
 	}
+	var shardIndex, shardCount int
+	if *shard != "" {
+		var err error
+		shardIndex, shardCount, err = runner.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crispsim:", err)
+			return 2
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	r, err := runner.New(ctx, runner.Options{
 		Workers: 1, CacheDir: dir,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
+		ShardIndex: shardIndex, ShardCount: shardCount,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crispsim:", err)
 		return 1
 	}
 	defer r.Close()
+
+	if *cores != "" {
+		if *sampled {
+			fmt.Fprintln(os.Stderr, "crispsim: -sampled is not supported with -cores (multi-core runs are full-detail only)")
+			return 2
+		}
+		return runMulti(ctx, r, spec, strings.Split(*cores, ","))
+	}
 
 	if spec.Crisp != nil {
 		// Resolve (or load) the software pipeline first so its summary
@@ -141,14 +169,7 @@ func run() int {
 	fmt.Printf("ROB head stalls %d (%.1f%% of cycles), fetch stalls %d, DRAM reads %d (avg %.0f cyc)\n",
 		res.ROBHeadStalls, float64(res.ROBHeadStalls)/float64(res.Cycles)*100,
 		res.FetchStallCycle, res.DRAMReads, res.DRAMAvgLat)
-	b := &res.Breakdown
-	pct := func(v uint64) float64 { return float64(v) / float64(b.Total()) * 100 }
-	fmt.Printf("slots: retired %.1f%%, frontend %.1f%%, branch %.1f%%, mem l1/llc/dram %.1f/%.1f/%.1f%%, core %.1f%%\n",
-		b.CommittedFrac()*100,
-		pct(b.Stalls[metrics.Frontend]), pct(b.Stalls[metrics.BranchRedirect]),
-		pct(b.Stalls[metrics.MemL1]), pct(b.Stalls[metrics.MemLLC]), pct(b.Stalls[metrics.MemDRAM]),
-		pct(b.Stalls[metrics.CoreROBFull]+b.Stalls[metrics.CoreRSFull]+b.Stalls[metrics.CoreLQFull]+
-			b.Stalls[metrics.CoreSQFull]+b.Stalls[metrics.CorePort]+b.Stalls[metrics.CoreDep]+b.Stalls[metrics.CoreExec]))
+	printBreakdown(res)
 	fmt.Printf("load latency mean %.0f cyc (p99 %d), dram latency mean %.0f cyc, mlp at miss %.1f, rob occupancy mean %.0f\n",
 		res.Hists.LoadLat.Mean(), res.Hists.LoadLat.Quantile(0.99),
 		res.Hists.DRAMLat.Mean(), res.Hists.MLPAtMiss.Mean(), res.Hists.OccROB.Mean())
@@ -177,4 +198,77 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// printBreakdown prints one core's commit-slot split.
+func printBreakdown(res *core.Result) {
+	b := &res.Breakdown
+	pct := func(v uint64) float64 { return float64(v) / float64(b.Total()) * 100 }
+	fmt.Printf("slots: retired %.1f%%, frontend %.1f%%, branch %.1f%%, mem l1/llc/dram %.1f/%.1f/%.1f%%, core %.1f%%\n",
+		b.CommittedFrac()*100,
+		pct(b.Stalls[metrics.Frontend]), pct(b.Stalls[metrics.BranchRedirect]),
+		pct(b.Stalls[metrics.MemL1]), pct(b.Stalls[metrics.MemLLC]), pct(b.Stalls[metrics.MemDRAM]),
+		pct(b.Stalls[metrics.CoreROBFull]+b.Stalls[metrics.CoreRSFull]+b.Stalls[metrics.CoreLQFull]+
+			b.Stalls[metrics.CoreSQFull]+b.Stalls[metrics.CorePort]+b.Stalls[metrics.CoreDep]+b.Stalls[metrics.CoreExec]))
+}
+
+// runMulti executes a co-scheduled multi-core run: names[i] on core i,
+// with the command-line scheduler configuration applied to core 0 and
+// every neighbour on the OOO baseline over the shared LLC and DRAM.
+func runMulti(ctx context.Context, r *runner.Runner, lead sim.RunSpec, names []string) int {
+	mspec := sim.MultiSpec{Cores: make([]sim.RunSpec, len(names))}
+	for i, n := range names {
+		n = strings.TrimSpace(n)
+		if i == 0 {
+			mspec.Cores[i] = lead
+			mspec.Cores[i].Workload = n
+		} else {
+			mspec.Cores[i] = sim.RunSpec{Workload: n, Input: sim.InputRef,
+				Insts: lead.Insts, RS: lead.RS, ROB: lead.ROB}
+		}
+	}
+	if err := mspec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "crispsim:", err)
+		return 2
+	}
+	m, err := r.RunMulti(ctx, mspec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crispsim:", err)
+		return 1
+	}
+	for i, res := range m.Cores {
+		sched := "ooo"
+		if i == 0 {
+			sched = schedName(mspec.Cores[0])
+		}
+		fmt.Println(sim.Describe(fmt.Sprintf("core%d %s/%s", i, mspec.Cores[i].Workload, sched), res))
+		printBreakdown(res)
+	}
+	llc, bw := m.LLCOccupancyShare(), m.DRAMBandwidthShare()
+	fmt.Printf("shared llc: %d accesses, %d misses; per-core share", m.LLC.Accesses, m.LLC.Misses)
+	for i := range m.Cores {
+		fmt.Printf(" %.2f", llc.Share(i))
+	}
+	fmt.Printf("\nshared dram: %d reads, %d writes; bandwidth share", m.DRAM.Reads, m.DRAM.Writes)
+	for i := range m.Cores {
+		fmt.Printf(" %.2f", bw.Share(i))
+	}
+	fmt.Println()
+	return 0
+}
+
+// schedName recovers the display name of the lead clause's scheduler.
+func schedName(s sim.RunSpec) string {
+	switch {
+	case s.IBDA != nil:
+		return "ibda"
+	case s.Crisp != nil:
+		return "crisp"
+	case s.PerfectBP:
+		return "perfect-bp"
+	case s.Sched == sim.SchedRandom:
+		return "random"
+	default:
+		return "ooo"
+	}
 }

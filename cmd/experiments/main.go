@@ -56,7 +56,7 @@ func main() {
 
 func run() int {
 	var (
-		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles, sampling")
+		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles, sampling, colocate")
 		table      = flag.String("table", "", "table to run: 1")
 		all        = flag.Bool("all", false, "run every experiment")
 		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
@@ -93,10 +93,14 @@ func run() int {
 	if dir == "" {
 		dir = *cacheDir
 	}
-	shardIndex, shardCount, err := parseShard(*shard)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		return 2
+	var shardIndex, shardCount int
+	if *shard != "" {
+		var err error
+		shardIndex, shardCount, err = runner.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 2
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -177,6 +181,7 @@ func run() int {
 		{"pf", lab.PrefetcherSensitivity},
 		{"cycles", lab.CycleAccounting},
 		{"sampling", lab.SamplingValidation},
+		{"colocate", lab.Colocate},
 	} {
 		if wantFig(f.name) {
 			figures = append(figures, pendingFigure{p: f.build(), start: time.Now()})
@@ -235,20 +240,6 @@ func run() int {
 			s.CkptCaptured, s.CkptDiskHits, float64(s.LockWaitNS)/1e9)
 	}
 	return 0
-}
-
-// parseShard parses a "-shard i/n" value ("" = unsharded).
-func parseShard(s string) (index, count int, err error) {
-	if s == "" {
-		return 0, 0, nil
-	}
-	if _, err := fmt.Sscanf(s, "%d/%d", &index, &count); err != nil {
-		return 0, 0, fmt.Errorf("bad -shard %q: want i/n, e.g. 0/2", s)
-	}
-	if count < 1 || index < 0 || index >= count {
-		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0,%d)", s, count)
-	}
-	return index, count, nil
 }
 
 // startProgress prints a live "done/started" job counter to stderr until

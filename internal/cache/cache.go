@@ -89,7 +89,10 @@ type line struct {
 	fillDepth  int8   // levels below that served the fill
 }
 
-// Cache is one set-associative level.
+// Cache is one set-associative level. A level shared between cores (the
+// multi-core LLC) keeps one set of tags, MSHRs, and timing state — every
+// requester contends for them — but routes statistics and miss-observer
+// callbacks to the active requester (SetRequesters/SetRequester).
 type Cache struct {
 	cfg      Config
 	sets     int
@@ -100,10 +103,14 @@ type Cache struct {
 	pf       Prefetcher
 	mshr     map[uint64]mshrEntry // line addr -> in-flight miss
 	stats    Stats
+	cur      *Stats  // increment target: &stats, or the active requester's slot
+	perReq   []Stats // per-requester counters when shared (SetRequesters)
+	req      int     // active requester index
 
 	// lastLevel marks the LLC: its misses are reported to miss observers
 	// (per-PC profiling, IBDA's delinquent load table).
 	missObs func(pc, lineAddr uint64)
+	perObs  []func(pc, lineAddr uint64) // per-requester observers when shared
 }
 
 // New returns a cache level in front of next.
@@ -126,10 +133,37 @@ func New(cfg Config, next Backend) *Cache {
 		next:  next,
 		mshr:  make(map[uint64]mshrEntry),
 	}
+	c.cur = &c.stats
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.lineBits++
 	}
 	return c
+}
+
+// SetRequesters switches this level to per-requester statistics and miss
+// observers for n requesters (cores sharing the LLC). Tags, MSHRs, and
+// timing stay shared; only attribution changes. Requester 0 is active.
+func (c *Cache) SetRequesters(n int) {
+	c.perReq = make([]Stats, n)
+	c.perObs = make([]func(pc, lineAddr uint64), n)
+	c.cur = &c.perReq[0]
+	c.req = 0
+}
+
+// SetRequester selects which requester subsequent accesses are attributed
+// to. Only valid after SetRequesters.
+func (c *Cache) SetRequester(i int) {
+	c.req = i
+	c.cur = &c.perReq[i]
+}
+
+// RequesterStats returns requester i's counters.
+func (c *Cache) RequesterStats(i int) Stats { return c.perReq[i] }
+
+// SetRequesterMissObserver registers a primary-miss callback fired only
+// for requester i's demand misses at this level.
+func (c *Cache) SetRequesterMissObserver(i int, f func(pc, lineAddr uint64)) {
+	c.perObs[i] = f
 }
 
 // SetPrefetcher attaches a prefetcher to this level.
@@ -140,8 +174,18 @@ func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
 // for IBDA's delinquent load table).
 func (c *Cache) SetMissObserver(f func(pc, lineAddr uint64)) { c.missObs = f }
 
-// Stats returns a copy of this level's counters.
-func (c *Cache) Stats() Stats { return c.stats }
+// Stats returns a copy of this level's counters, summed across requesters
+// when per-requester attribution is active.
+func (c *Cache) Stats() Stats {
+	if c.perReq == nil {
+		return c.stats
+	}
+	sum := c.stats
+	for i := range c.perReq {
+		sum.Add(&c.perReq[i])
+	}
+	return sum
+}
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -167,7 +211,7 @@ func (c *Cache) Access(addr uint64, write bool, cycle uint64) uint64 {
 // It returns the completion cycle and the depth at which the access was
 // served: 0 = hit in this cache, 1 = next level, 2 = the level after, etc.
 func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64, depth int8) {
-	c.stats.Accesses++
+	c.cur.Accesses++
 	la := c.lineAddr(addr)
 	base := c.set(la) * c.cfg.Ways
 
@@ -178,7 +222,7 @@ func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64
 			wasPrefetched := ln.prefetched
 			if wasPrefetched {
 				ln.prefetched = false
-				c.stats.PrefetchHits++
+				c.cur.PrefetchHits++
 			}
 			if write {
 				ln.dirty = true
@@ -189,14 +233,14 @@ func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64
 				// The line is still in flight: the access merges with the
 				// outstanding fill and is served from the fill's level.
 				done = ln.readyAt
-				c.stats.MergedMisses++
+				c.cur.MergedMisses++
 				if wasPrefetched {
-					c.stats.PrefetchLate++
+					c.cur.PrefetchLate++
 				}
 				c.firePrefetch(pc, addr, true, cycle)
 				return done, ln.fillDepth
 			}
-			c.stats.Hits++
+			c.cur.Hits++
 			c.firePrefetch(pc, addr, true, cycle)
 			return done, 0
 		}
@@ -204,7 +248,7 @@ func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64
 
 	// Secondary miss: merge into outstanding MSHR.
 	if pending, ok := c.mshr[la]; ok && pending.done > cycle {
-		c.stats.MergedMisses++
+		c.cur.MergedMisses++
 		c.firePrefetch(pc, addr, false, cycle)
 		if write {
 			c.markDirtyAfterFill(la)
@@ -213,9 +257,14 @@ func (c *Cache) AccessPC(pc, addr uint64, write bool, cycle uint64) (done uint64
 	}
 
 	// Primary miss.
-	c.stats.Misses++
-	if c.missObs != nil && pc != NoPC {
-		c.missObs(pc, la)
+	c.cur.Misses++
+	if pc != NoPC {
+		if c.missObs != nil {
+			c.missObs(pc, la)
+		}
+		if c.perObs != nil && c.perObs[c.req] != nil {
+			c.perObs[c.req](pc, la)
+		}
 	}
 	start := c.mshrAdmit(cycle)
 	fillDone, d := c.accessNext(pc, la, start+uint64(c.cfg.Latency))
@@ -253,7 +302,7 @@ func (c *Cache) Prefetch(addr uint64, cycle uint64) {
 	start := c.mshrAdmit(cycle)
 	fillDone, d := c.accessNext(NoPC, la, start+uint64(c.cfg.Latency))
 	c.mshr[la] = mshrEntry{done: fillDone, depth: d}
-	c.stats.Prefetches++
+	c.cur.Prefetches++
 	c.fill(la, fillDone, d, false, true, cycle)
 }
 
@@ -284,7 +333,7 @@ func (c *Cache) mshrAdmit(cycle uint64) uint64 {
 	if len(c.mshr) < c.cfg.MSHRs {
 		return cycle
 	}
-	c.stats.MSHRStalls += earliest - cycle
+	c.cur.MSHRStalls += earliest - cycle
 	// Free the earliest-completing entry: it will have completed by then.
 	for la, e := range c.mshr {
 		if e.done == earliest {
@@ -310,7 +359,7 @@ func (c *Cache) fill(la uint64, readyAt uint64, depth int8, dirty, prefetched bo
 	}
 	v := &c.lines[base+victim]
 	if v.valid && v.dirty {
-		c.stats.Writebacks++
+		c.cur.Writebacks++
 		c.next.Access(v.tag, true, cycle)
 	}
 	*v = line{tag: la, valid: true, dirty: dirty, readyAt: readyAt, prefetched: prefetched, fillDepth: depth}
@@ -430,6 +479,7 @@ func (c *Cache) CloneState(next Backend) *Cache {
 		next:     next,
 		mshr:     make(map[uint64]mshrEntry),
 	}
+	cl.cur = &cl.stats
 	return cl
 }
 

@@ -45,6 +45,12 @@ func DefaultHierConfig() HierConfig {
 // Hierarchy wires L1I and L1D over a shared LLC over DRAM, tracks
 // outstanding long-latency misses for MLP measurement, and attributes
 // per-level service for profiling.
+//
+// A Hierarchy is either private (the single-core case: it owns every
+// level, req is -1) or a per-core view of a SharedHierarchy (L1I/L1D are
+// private, LLC and Mem are shared with the sibling views; req identifies
+// this core to the shared levels and base offsets its addresses into a
+// disjoint slice of the shared physical address space).
 type Hierarchy struct {
 	L1I *Cache
 	L1D *Cache
@@ -53,12 +59,15 @@ type Hierarchy struct {
 
 	cfg HierConfig
 
+	req  int    // requester index at the shared LLC/DRAM; -1 = private
+	base uint64 // physical-address offset for this core's view
+
 	// outstanding completion cycles of in-flight DRAM-served loads, used
 	// to approximate memory-level parallelism at miss time (Section 3.2).
 	outstanding []uint64
 }
 
-// NewHierarchy builds the hierarchy from cfg.
+// NewHierarchy builds a private single-core hierarchy from cfg.
 func NewHierarchy(cfg HierConfig) *Hierarchy {
 	mem := dram.New(cfg.DRAM)
 	llc := New(cfg.LLC, mem)
@@ -68,17 +77,98 @@ func NewHierarchy(cfg HierConfig) *Hierarchy {
 		LLC: llc,
 		Mem: mem,
 		cfg: cfg,
+		req: -1,
 	}
 }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() HierConfig { return h.cfg }
 
+// Activate routes shared-level statistics and miss observers to this view's
+// requester. The multi-core driver calls it before stepping each core; it
+// is a no-op on a private hierarchy, so core code can call it
+// unconditionally.
+func (h *Hierarchy) Activate() {
+	if h.req < 0 {
+		return
+	}
+	h.LLC.SetRequester(h.req)
+	h.Mem.SetRequester(h.req)
+}
+
+// SetMissObserver registers an LLC primary-miss callback for this view:
+// directly on a private LLC, per-requester on a shared one.
+func (h *Hierarchy) SetMissObserver(f func(pc, lineAddr uint64)) {
+	if h.req < 0 {
+		h.LLC.SetMissObserver(f)
+		return
+	}
+	h.LLC.SetRequesterMissObserver(h.req, f)
+}
+
+// LLCStats returns this view's share of LLC activity (all of it on a
+// private hierarchy).
+func (h *Hierarchy) LLCStats() Stats {
+	if h.req < 0 {
+		return h.LLC.Stats()
+	}
+	return h.LLC.RequesterStats(h.req)
+}
+
+// DRAMStats returns this view's share of DRAM activity.
+func (h *Hierarchy) DRAMStats() dram.Stats {
+	if h.req < 0 {
+		return h.Mem.Stats()
+	}
+	return h.Mem.RequesterStats(h.req)
+}
+
+// SharedHierarchy is the multi-core memory system: one LLC and one DRAM
+// contended by n cores, each of which sees its own Hierarchy view with
+// private L1I/L1D. Core i's addresses are offset by i<<40 — cores run
+// disjoint address spaces (no coherence traffic to model) but collide in
+// the shared LLC index and DRAM banks exactly as co-located processes do.
+// View 0 has base 0, so a 1-core SharedHierarchy times identically to a
+// private Hierarchy.
+type SharedHierarchy struct {
+	Views []*Hierarchy
+	LLC   *Cache
+	Mem   *dram.DRAM
+}
+
+// coreAddrStride separates per-core address spaces. A power of two far
+// above any workload footprint: it is a multiple of every power-of-two
+// cache-set span and of RowBytes×Banks, so each core's *intra*-core set
+// and bank mapping is unchanged by the offset.
+const coreAddrStride = uint64(1) << 40
+
+// NewSharedHierarchy builds one shared LLC+DRAM and n per-core views.
+func NewSharedHierarchy(cfg HierConfig, n int) *SharedHierarchy {
+	mem := dram.New(cfg.DRAM)
+	mem.SetRequesters(n)
+	llc := New(cfg.LLC, mem)
+	llc.SetRequesters(n)
+	sh := &SharedHierarchy{LLC: llc, Mem: mem, Views: make([]*Hierarchy, n)}
+	for i := 0; i < n; i++ {
+		sh.Views[i] = &Hierarchy{
+			L1I:  New(cfg.L1I, llc),
+			L1D:  New(cfg.L1D, llc),
+			LLC:  llc,
+			Mem:  mem,
+			cfg:  cfg,
+			req:  i,
+			base: uint64(i) * coreAddrStride,
+		}
+	}
+	return sh
+}
+
 // WarmData warms the data path for addr: a tags-only touch of L1D,
 // recursing into the LLC on an L1D miss. No timing, no statistics. It
 // reports whether L1D already held the line, which checkpoint capture
 // feeds to prefetcher training as the hit flag.
 func (h *Hierarchy) WarmData(addr uint64, write bool) (l1hit bool) {
+	addr += h.base
 	if h.L1D.Warm(addr, write) {
 		return true
 	}
@@ -92,6 +182,7 @@ func (h *Hierarchy) WarmData(addr uint64, write bool) (l1hit bool) {
 // variant's cache content includes the prefetched-line population that
 // dedups most suggestions in a steady-state detailed run.
 func (h *Hierarchy) WarmPrefetch(addr uint64) {
+	addr += h.base
 	if !h.L1D.WarmPrefetch(addr) {
 		h.LLC.WarmPrefetch(addr)
 	}
@@ -99,6 +190,7 @@ func (h *Hierarchy) WarmPrefetch(addr uint64) {
 
 // WarmInst warms the instruction path for the code line at addr.
 func (h *Hierarchy) WarmInst(addr uint64) {
+	addr += h.base
 	if !h.L1I.Warm(addr, false) {
 		h.LLC.Warm(addr, false)
 	}
@@ -117,13 +209,14 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		LLC: llc,
 		Mem: mem,
 		cfg: h.cfg,
+		req: -1,
 	}
 }
 
 // Data services a demand data access for the instruction at pc and returns
 // the completion cycle and serving level.
 func (h *Hierarchy) Data(pc, addr uint64, write bool, cycle uint64) (done uint64, by ServedBy) {
-	done, depth := h.L1D.AccessPC(pc, addr, write, cycle)
+	done, depth := h.L1D.AccessPC(pc, addr+h.base, write, cycle)
 	switch {
 	case depth <= 0:
 		by = ServedL1
@@ -138,12 +231,12 @@ func (h *Hierarchy) Data(pc, addr uint64, write bool, cycle uint64) (done uint64
 
 // Inst services an instruction-fetch access for the code line at addr.
 func (h *Hierarchy) Inst(addr uint64, cycle uint64) (done uint64, hit bool) {
-	done, depth := h.L1I.AccessPC(NoPC, addr, false, cycle)
+	done, depth := h.L1I.AccessPC(NoPC, addr+h.base, false, cycle)
 	return done, depth == 0
 }
 
 // PrefetchInst requests an instruction line fill (FDIP).
-func (h *Hierarchy) PrefetchInst(addr uint64, cycle uint64) { h.L1I.Prefetch(addr, cycle) }
+func (h *Hierarchy) PrefetchInst(addr uint64, cycle uint64) { h.L1I.Prefetch(addr+h.base, cycle) }
 
 func (h *Hierarchy) trackMiss(done, cycle uint64) {
 	// Prune completed entries opportunistically.

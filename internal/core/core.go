@@ -243,7 +243,10 @@ func (c *Core) SetBranchState(bp branch.Predictor, btb *branch.BTB, ras *branch.
 	}
 }
 
-// Run simulates to completion and returns the results.
+// Run simulates to completion and returns the results. It is the
+// single-core composition of the step primitives the multi-core driver
+// (RunMulti) sequences across cores: stepCycle / skipTarget+applySkip /
+// advanceCycle / finishRun.
 func (c *Core) Run() *Result {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -254,43 +257,66 @@ func (c *Core) Run() *Result {
 		if c.cancelCheck != nil && c.cancelCheck() {
 			break
 		}
-		c.commit()
-		c.issue()
-		c.dispatch()
-		c.fetch()
-		if c.cycle&c.occMask == 0 {
-			c.sampleOccupancy()
-		}
+		c.stepCycle()
 		if !c.cfg.DebugNoSkip {
-			c.skipIdle()
+			if next, ok := c.skipTarget(); ok {
+				c.applySkip(next)
+			}
 		}
-		c.cycle++
-		if c.cfg.UPCWindow > 0 && c.cycle%uint64(c.cfg.UPCWindow) == 0 {
-			c.stats.UPCWindows = append(c.stats.UPCWindows, float64(c.upcAccum)/float64(c.cfg.UPCWindow))
-			c.upcAccum = 0
-		}
-		// Watchdog on loop iterations, not simulated cycles: a legitimate
-		// next-event jump can advance the clock by millions of cycles
-		// (e.g. a huge UPC window over a dead backend), which must not be
-		// mistaken for a hang. Iterations without retirement bound host
-		// work directly.
-		if c.stats.HostIters-c.lastRetireIter > 2_000_000 {
-			panic(fmt.Sprintf("core: no commit for 2M loop iterations at cycle %d (head seq %d tail %d, fetchQ %d)",
-				c.cycle, c.headSeq, c.tailSeq, c.fqLen))
-		}
+		c.advanceCycle()
 	}
+	c.finishRun(start, startAllocs)
+	return &c.stats
+}
+
+// stepCycle runs the four pipeline stages of the current cycle plus the
+// occupancy sample that precedes any skip decision.
+func (c *Core) stepCycle() {
+	c.hier.Activate()
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	if c.cycle&c.occMask == 0 {
+		c.sampleOccupancy()
+	}
+}
+
+// advanceCycle increments the clock, closes UPC windows, and trips the
+// no-progress watchdog.
+func (c *Core) advanceCycle() {
+	c.cycle++
+	if c.cfg.UPCWindow > 0 && c.cycle%uint64(c.cfg.UPCWindow) == 0 {
+		c.stats.UPCWindows = append(c.stats.UPCWindows, float64(c.upcAccum)/float64(c.cfg.UPCWindow))
+		c.upcAccum = 0
+	}
+	// Watchdog on loop iterations, not simulated cycles: a legitimate
+	// next-event jump can advance the clock by millions of cycles
+	// (e.g. a huge UPC window over a dead backend), which must not be
+	// mistaken for a hang. Iterations without retirement bound host
+	// work directly.
+	if c.stats.HostIters-c.lastRetireIter > 2_000_000 {
+		panic(fmt.Sprintf("core: no commit for 2M loop iterations at cycle %d (head seq %d tail %d, fetchQ %d)",
+			c.cycle, c.headSeq, c.tailSeq, c.fqLen))
+	}
+}
+
+// finishRun materializes the result: per-PC profile export, host counters
+// against the given run start, and this core's view of the memory-system
+// statistics (its own share when the LLC/DRAM are contended).
+func (c *Core) finishRun(start time.Time, startAllocs uint64) {
 	c.exportProfs()
 	c.stats.HostNS = time.Since(start).Nanoseconds()
+	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	c.stats.HostAllocs = ms.Mallocs - startAllocs
 	c.stats.Cycles = c.cycle
 	c.stats.L1I = c.hier.L1I.Stats()
 	c.stats.L1D = c.hier.L1D.Stats()
-	c.stats.LLC = c.hier.LLC.Stats()
-	ds := c.hier.Mem.Stats()
+	c.stats.LLC = c.hier.LLCStats()
+	ds := c.hier.DRAMStats()
 	c.stats.DRAMReads = ds.Reads
 	c.stats.DRAMAvgLat = ds.AvgReadLatency()
-	return &c.stats
 }
 
 func (c *Core) finished() bool {

@@ -12,9 +12,9 @@ import "crisp/internal/isa"
 // which anything *can* happen, and every cycle before it would replay an
 // identical no-op: commit re-charges the same stall bucket, issue drains
 // no wakeups, dispatch re-blocks on the same frozen resource, fetch stays
-// stalled. skipIdle computes that event horizon and jumps the clock
-// straight to it, bulk-charging the interval exactly as the per-cycle
-// path would have — the exact-partition invariant
+// stalled. skipTarget computes that event horizon and applySkip jumps the
+// clock straight to it, bulk-charging the interval exactly as the
+// per-cycle path would have — the exact-partition invariant
 // Breakdown.Total() == Cycles × CommitWidth holds by construction on the
 // skip path too, and every counter (ROBHeadStalls, per-PC HeadStall,
 // FetchStallCycle) receives the same totals. Jumps are clipped to the
@@ -23,18 +23,24 @@ import "crisp/internal/isa"
 // is cycle-exact and pinned byte-identical by the harness goldens and
 // TestSkipEquivalence.
 
-// skipIdle runs after the four stages of the current cycle. If it can
+// skipTarget runs after the four stages of the current cycle. If it can
 // prove cycles cycle+1 .. next-1 are no-ops for some future event time
-// `next`, it charges them in bulk and sets cycle = next-1 (the loop's
-// increment then lands exactly on the event cycle). Any condition it
-// cannot prove simply suppresses the jump — skipping is never required
-// for correctness, only for host speed.
-func (c *Core) skipIdle() {
+// `next`, it returns (next, true); the caller then charges the interval
+// via applySkip. Any condition it cannot prove simply suppresses the jump
+// — skipping is never required for correctness, only for host speed.
+//
+// The proof is purely per-core: it reads only this core's frozen pipeline
+// state and already-recorded completion times. That is what makes the
+// multi-core min-merge sound — a neighbour's activity during the interval
+// cannot create work for this core before `next` (all of this core's
+// in-flight completion times were fixed when the accesses were issued),
+// so applySkip remains valid for any target ≤ next.
+func (c *Core) skipTarget() (uint64, bool) {
 	if c.finished() {
-		return // the run ends at the next loop check; don't pad Cycles
+		return 0, false // the run ends at the next loop check; don't pad Cycles
 	}
 	if c.readyBid.Any() {
-		return // selection candidates exist: issue can proceed next cycle
+		return 0, false // selection candidates exist: issue can proceed next cycle
 	}
 	const never = ^uint64(0)
 	next := never
@@ -45,7 +51,7 @@ func (c *Core) skipIdle() {
 	if c.headSeq != c.tailSeq {
 		if e := c.robEntry(c.headSeq); e.done {
 			if e.doneAt <= c.cycle+1 {
-				return // head committable next cycle
+				return 0, false // head committable next cycle
 			}
 			next = e.doneAt
 		}
@@ -75,7 +81,7 @@ func (c *Core) skipIdle() {
 				(op == isa.OpStore && c.sqCount >= c.cfg.StoreQueue) ||
 				c.rsCount >= c.cfg.RSSize
 			if !blocked {
-				return
+				return 0, false
 			}
 		}
 	}
@@ -86,7 +92,7 @@ func (c *Core) skipIdle() {
 	// only the timed block needs its own entry in the min.
 	if !c.streamDone && !c.mispredictPending && c.waitingBranchSeq < 0 && c.fqLen < c.cfg.FTQSize {
 		if c.fetchBlockedUntil <= c.cycle+1 {
-			return
+			return 0, false
 		}
 	}
 	if c.fetchBlockedUntil > c.cycle && c.fetchBlockedUntil < next {
@@ -112,7 +118,19 @@ func (c *Core) skipIdle() {
 	}
 
 	if next == never || next <= c.cycle+1 {
-		return
+		return 0, false
+	}
+	return next, true
+}
+
+// applySkip charges cycles cycle+1 .. next-1 in bulk and sets
+// cycle = next-1 (the loop's increment then lands exactly on the event
+// cycle). The caller must hold a skipTarget() proof for some value ≥ next:
+// any prefix of a proven-idle interval is itself proven idle, which is how
+// the multi-core driver applies the min across cores.
+func (c *Core) applySkip(next uint64) {
+	if next <= c.cycle+1 {
+		return // another core's event lands next cycle: nothing to skip
 	}
 	delta := next - c.cycle - 1 // skipped cycle values: cycle+1 .. next-1
 

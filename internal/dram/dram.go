@@ -46,6 +46,20 @@ type Stats struct {
 	RowMisses    uint64 // closed row (first access after precharge)
 	RowConflicts uint64 // different row open
 	TotalReadLat uint64 // sum of read latencies (request to data)
+	BankWait     uint64 // cycles requests waited behind a busy bank
+	BusWait      uint64 // cycles transfers waited behind the busy data bus
+}
+
+// Add accumulates another snapshot into s (per-requester aggregation).
+func (s *Stats) Add(o *Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowConflicts += o.RowConflicts
+	s.TotalReadLat += o.TotalReadLat
+	s.BankWait += o.BankWait
+	s.BusWait += o.BusWait
 }
 
 // AvgReadLatency returns the mean read latency in cycles.
@@ -61,12 +75,17 @@ type bank struct {
 	busyUntil uint64
 }
 
-// DRAM is a single-channel memory controller.
+// DRAM is a single-channel memory controller. Bank and bus busy state is
+// global — every requester contends for it — while statistics can be
+// attributed per requester (SetRequesters) so a multi-core simulation sees
+// who caused and who suffered the contention.
 type DRAM struct {
 	cfg     Config
 	banks   []bank
 	busBusy uint64 // channel data-bus busy-until
 	stats   Stats
+	cur     *Stats  // increment target: &stats, or the active requester's slot
+	perReq  []Stats // per-requester counters when shared (SetRequesters)
 }
 
 // New returns a DRAM with the given config (zero Config fields replaced by
@@ -77,11 +96,27 @@ func New(cfg Config) *DRAM {
 		cfg = def
 	}
 	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	d.cur = &d.stats
 	for i := range d.banks {
 		d.banks[i].openRow = -1
 	}
 	return d
 }
+
+// SetRequesters switches the controller to per-requester statistics for n
+// requesters (cores). Timing state stays global; only counter attribution
+// changes. The active requester starts at 0.
+func (d *DRAM) SetRequesters(n int) {
+	d.perReq = make([]Stats, n)
+	d.cur = &d.perReq[0]
+}
+
+// SetRequester selects which requester subsequent accesses are attributed
+// to. Only valid after SetRequesters.
+func (d *DRAM) SetRequester(i int) { d.cur = &d.perReq[i] }
+
+// RequesterStats returns requester i's counters.
+func (d *DRAM) RequesterStats(i int) Stats { return d.perReq[i] }
 
 // Access services a 64-byte line request beginning at CPU cycle `cycle`
 // and returns the cycle at which the data transfer completes. Writes
@@ -97,6 +132,7 @@ func (d *DRAM) Access(addr uint64, write bool, cycle uint64) uint64 {
 
 	start := cycle + uint64(d.cfg.CtrlLatency)
 	if b.busyUntil > start {
+		d.cur.BankWait += b.busyUntil - start
 		start = b.busyUntil
 	}
 
@@ -104,35 +140,46 @@ func (d *DRAM) Access(addr uint64, write bool, cycle uint64) uint64 {
 	switch {
 	case b.openRow == row:
 		access = uint64(d.cfg.CAS)
-		d.stats.RowHits++
+		d.cur.RowHits++
 	case b.openRow == -1:
 		access = uint64(d.cfg.RCD + d.cfg.CAS)
-		d.stats.RowMisses++
+		d.cur.RowMisses++
 	default:
 		access = uint64(d.cfg.RP + d.cfg.RCD + d.cfg.CAS)
-		d.stats.RowConflicts++
+		d.cur.RowConflicts++
 	}
 	b.openRow = row
 	b.busyUntil = start + access
 
 	xfer := start + access
 	if d.busBusy > xfer {
+		d.cur.BusWait += d.busBusy - xfer
 		xfer = d.busBusy
 	}
 	done := xfer + uint64(d.cfg.Burst)
 	d.busBusy = done
 
 	if write {
-		d.stats.Writes++
+		d.cur.Writes++
 	} else {
-		d.stats.Reads++
-		d.stats.TotalReadLat += done - cycle
+		d.cur.Reads++
+		d.cur.TotalReadLat += done - cycle
 	}
 	return done
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (d *DRAM) Stats() Stats { return d.stats }
+// Stats returns a copy of the accumulated statistics, summed across
+// requesters when per-requester attribution is active.
+func (d *DRAM) Stats() Stats {
+	if d.perReq == nil {
+		return d.stats
+	}
+	sum := d.stats
+	for i := range d.perReq {
+		sum.Add(&d.perReq[i])
+	}
+	return sum
+}
 
 // MinReadLatency returns the best-case (row hit, idle) read latency.
 func (d *DRAM) MinReadLatency() uint64 {

@@ -90,6 +90,60 @@ func TestMonotonicCompletion(t *testing.T) {
 	}
 }
 
+// TestCrossRequesterBankConflict pins the multi-core contention contract
+// by exact cycle counts under the default config (Ctrl 20, CAS/RCD/RP 42,
+// Burst 10): two requesters hitting the same bank serialize behind the
+// bank, while different banks overlap and pay only the shared bus.
+func TestCrossRequesterBankConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	rowStride := uint64(cfg.RowBytes * cfg.Banks) // same bank, next row
+	bankStride := uint64(cfg.RowBytes)            // next bank
+
+	// Solo: requester 0 alone. Closed row: 20 + (42+42) + 10 = 114.
+	solo := New(cfg)
+	solo.SetRequesters(2)
+	if done := solo.Access(0, false, 0); done != 114 {
+		t.Fatalf("solo closed-row completion = %d, want 114", done)
+	}
+
+	// Same bank: requester 1's conflicting row waits for the bank (busy
+	// until 104), then pays RP+RCD+CAS: start 104 + 126 + burst 10 = 240.
+	same := New(cfg)
+	same.SetRequesters(2)
+	same.Access(0, false, 0)
+	same.SetRequester(1)
+	if done := same.Access(rowStride, false, 0); done != 240 {
+		t.Errorf("same-bank serialized completion = %d, want 240", done)
+	}
+	if w := same.RequesterStats(1).BankWait; w != 84 {
+		t.Errorf("requester 1 BankWait = %d, want 84 (20..104 behind requester 0's bank)", w)
+	}
+	if w := same.RequesterStats(0).BankWait; w != 0 {
+		t.Errorf("requester 0 BankWait = %d, want 0", w)
+	}
+
+	// Different banks: banks overlap fully; requester 1 only queues its
+	// burst behind requester 0's on the shared bus: 104+10(bus)+10 = 124.
+	diff := New(cfg)
+	diff.SetRequesters(2)
+	diff.Access(0, false, 0)
+	diff.SetRequester(1)
+	if done := diff.Access(bankStride, false, 0); done != 124 {
+		t.Errorf("different-bank overlapped completion = %d, want 124", done)
+	}
+	if w := diff.RequesterStats(1).BusWait; w != 10 {
+		t.Errorf("requester 1 BusWait = %d, want 10", w)
+	}
+	if w := diff.RequesterStats(1).BankWait; w != 0 {
+		t.Errorf("requester 1 BankWait = %d, want 0", w)
+	}
+
+	// Aggregate Stats() sums the per-requester slots.
+	if s := same.Stats(); s.Reads != 2 || s.RowMisses != 1 || s.RowConflicts != 1 {
+		t.Errorf("aggregate stats = %+v", s)
+	}
+}
+
 func TestWriteStatsAndReadLatencyAvg(t *testing.T) {
 	d := New(DefaultConfig())
 	d.Access(0, true, 0)

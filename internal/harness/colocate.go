@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"crisp/internal/crisp"
+	"crisp/internal/metrics"
+	"crisp/internal/sim"
+)
+
+// Colocate renders the multi-core co-location figure: a latency-critical
+// pointer-chasing service loop (tailchase, core 0) run solo and next to
+// a bandwidth-hogging batch streamer (streambatch, core 1) over one
+// shared LLC and DRAM, under both the OOO baseline and CRISP scheduling
+// on the LC core. The columns answer the experiment's question — how
+// much the neighbour costs the LC core (IPC, DRAM-stall slots, LLC
+// misses, observed DRAM latency) and whether CRISP's reordering on core
+// 0 helps or hurts core 1 (batch IPC, batch share of DRAM bandwidth).
+// Every resolved core self-checks the attribution invariant (breakdown
+// partitions Cycles × CommitWidth exactly), failing the figure on drift.
+func (l *Lab) Colocate() *Pending {
+	t := &Table{
+		Title: "Co-location: tailchase (LC, core 0) + streambatch (batch, core 1), shared LLC/DRAM",
+		Columns: []string{"mix/sched", "lc_ipc", "batch_ipc", "lc_dram_slt%", "lc_llc_mpki",
+			"batch_bw_shr", "lc_dram_lat"},
+	}
+	width := l.Cfg.Core.CommitWidth
+	const lc, batch = "tailchase", "streambatch"
+	opts := crisp.DefaultOptions()
+
+	// lcCells extracts the LC-core columns shared by solo and co-run rows.
+	lcCells := func(r *coreCells) []float64 {
+		return []float64{r.ipc, r.batchIPC, r.dramSlotPct, r.llcMPKI, r.batchBWShare, r.dramLat}
+	}
+
+	soloRow := func(label string, spec sim.RunSpec) rowSource {
+		h := l.R.Submit(spec)
+		return rowSource{label, func(ctx context.Context) ([]float64, error) {
+			r, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := metrics.CheckPartition(&r.Breakdown, r.Cycles, width); err != nil {
+				return nil, err
+			}
+			slots := float64(r.Cycles) * float64(width)
+			return lcCells(&coreCells{
+				ipc:         r.IPC(),
+				dramSlotPct: float64(r.Breakdown.Stalls[metrics.MemDRAM]) / slots * 100,
+				llcMPKI:     r.LLCMPKI(),
+				dramLat:     r.DRAMAvgLat,
+			}), nil
+		}}
+	}
+	coRow := func(label string, spec sim.MultiSpec) rowSource {
+		h := l.R.SubmitMulti(spec)
+		return rowSource{label, func(ctx context.Context) ([]float64, error) {
+			m, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			for i, r := range m.Cores {
+				if err := metrics.CheckPartition(&r.Breakdown, r.Cycles, width); err != nil {
+					return nil, fmt.Errorf("core %d: %w", i, err)
+				}
+			}
+			lcr, br := m.Cores[0], m.Cores[1]
+			slots := float64(lcr.Cycles) * float64(width)
+			bw := m.DRAMBandwidthShare()
+			return lcCells(&coreCells{
+				ipc:          lcr.IPC(),
+				batchIPC:     br.IPC(),
+				dramSlotPct:  float64(lcr.Breakdown.Stalls[metrics.MemDRAM]) / slots * 100,
+				llcMPKI:      lcr.LLCMPKI(),
+				batchBWShare: bw.Share(1),
+				dramLat:      lcr.DRAMAvgLat,
+			}), nil
+		}}
+	}
+
+	rows := []rowSource{
+		soloRow("lc_solo/ooo", l.refSpec(lc)),
+		soloRow("lc_solo/crisp", l.crispSpec(lc, opts)),
+		coRow("lc+batch/ooo", sim.MultiSpec{Cores: []sim.RunSpec{l.refSpec(lc), l.refSpec(batch)}}),
+		coRow("lc+batch/crisp", sim.MultiSpec{Cores: []sim.RunSpec{l.crispSpec(lc, opts), l.refSpec(batch)}}),
+	}
+	return pending(t, rows, func(t *Table) {
+		soloOOO, coOOO, coCRISP := t.Rows[0], t.Rows[2], t.Rows[3]
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("batch neighbour costs the LC core %.1f%% IPC under ooo (%.3f -> %.3f)",
+				(1-coOOO.Cells[0]/soloOOO.Cells[0])*100, soloOOO.Cells[0], coOOO.Cells[0]),
+			fmt.Sprintf("CRISP on core 0 under co-location: LC IPC %.3f -> %.3f (%+.1f%%), batch IPC %.3f -> %.3f (%+.1f%%)",
+				coOOO.Cells[0], coCRISP.Cells[0], (coCRISP.Cells[0]/coOOO.Cells[0]-1)*100,
+				coOOO.Cells[1], coCRISP.Cells[1], (coCRISP.Cells[1]/coOOO.Cells[1]-1)*100))
+	})
+}
+
+// coreCells carries one row's per-core measurements to the column order
+// in one place (batch fields stay zero on solo rows).
+type coreCells struct {
+	ipc, batchIPC, dramSlotPct, llcMPKI, batchBWShare, dramLat float64
+}

@@ -256,11 +256,13 @@ func (l *Lab) suite() []string {
 }
 
 // SuiteNames returns the evaluation applications (the Fig 7 x-axis): all
-// workloads except the microbenchmark.
+// workloads except the microbenchmark and the multi-core co-location
+// pair (which exist for the Colocate figure, not the single-core suite).
 func SuiteNames() []string {
 	var names []string
 	for _, w := range workload.All() {
-		if w.Name == "pointerchase" {
+		switch w.Name {
+		case "pointerchase", "tailchase", "streambatch":
 			continue
 		}
 		names = append(names, w.Name)

@@ -1,0 +1,44 @@
+package metrics
+
+import "fmt"
+
+// CheckPartition verifies the exact-partition invariant a Breakdown is
+// built under: every commit slot of every cycle is attributed exactly
+// once, so the bucket totals must sum to cycles × width. Figures and CI
+// smokes call it per core, which is what makes multi-core attribution
+// trustworthy — a shared-resource accounting bug cannot hide in any
+// core's breakdown.
+func CheckPartition(b *Breakdown, cycles uint64, width int) error {
+	if got, want := b.Total(), cycles*uint64(width); got != want {
+		return fmt.Errorf("metrics: breakdown slots %d != cycles %d × width %d = %d",
+			got, cycles, width, want)
+	}
+	return nil
+}
+
+// Attribution decomposes one shared-resource activity total (LLC
+// accesses, DRAM bus transfers) into per-core contributions. It carries
+// the counter name so tables can label columns without side channels.
+type Attribution struct {
+	Name    string   `json:"name"`
+	PerCore []uint64 `json:"per_core"`
+}
+
+// Total returns the summed activity across cores.
+func (a *Attribution) Total() uint64 {
+	var t uint64
+	for _, v := range a.PerCore {
+		t += v
+	}
+	return t
+}
+
+// Share returns core i's fraction of the total, in [0, 1] (0 when the
+// resource saw no activity).
+func (a *Attribution) Share(i int) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(a.PerCore[i]) / float64(t)
+}

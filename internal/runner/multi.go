@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"context"
+
+	"crisp/internal/crisp"
+	"crisp/internal/sim"
+	"crisp/internal/workload"
+)
+
+// ------------------------------------------------- multi-core timing runs
+
+// RunMulti resolves a multi-core co-location spec to its result,
+// executing the lockstep simulation at most once per content key across
+// all concurrent callers and processes sharing the persistent cache —
+// the same single-flight discipline as single-core Run.
+func (r *Runner) RunMulti(ctx context.Context, spec sim.MultiSpec) (*sim.MultiResult, error) {
+	v, err := r.do(ctx, "multi|"+spec.Key(), r.multiTask(spec))
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sim.MultiResult), nil
+}
+
+// SubmitMulti starts spec on the pool without waiting and returns a
+// handle whose Result joins the in-flight (or finished) computation.
+// Under sharding, submissions for keys another process owns wait on the
+// shared store instead of computing.
+func (r *Runner) SubmitMulti(spec sim.MultiSpec) *MultiHandle {
+	r.background("multi|"+spec.Key(), r.submitTask(kindMulti, spec.Key(), r.multiTask(spec)))
+	return &MultiHandle{r: r, Spec: spec}
+}
+
+// MultiHandle is a submitted multi-core timing run.
+type MultiHandle struct {
+	r    *Runner
+	Spec sim.MultiSpec
+}
+
+// Result blocks until the run resolves.
+func (h *MultiHandle) Result(ctx context.Context) (*sim.MultiResult, error) {
+	return h.r.RunMulti(ctx, h.Spec)
+}
+
+func (r *Runner) multiTask(spec sim.MultiSpec) func(context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		cfgs, err := spec.Configs() // validates the spec as a side effect
+		if err != nil {
+			return nil, err
+		}
+		key := spec.Key()
+		var cached sim.MultiResult
+		if r.store.Get(kindMulti, key, &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		// Cross-process single-flight, as in runTask: hold the spec's
+		// file lock across compute-and-publish.
+		unlock, _, err := r.lockTask(ctx, kindMulti, key)
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
+		if r.store.Get(kindMulti, key, &cached) {
+			r.diskHits.Add(1)
+			return &cached, nil
+		}
+		// Resolve each clause to an image exactly as runTask would: CRISP
+		// clauses run the (deduped, disk-cached) software pipeline first,
+		// so a colocate sweep shares analyses with the single-core figures.
+		imgs := make([]*sim.Image, len(spec.Cores))
+		for i, cs := range spec.Cores {
+			w, err := resolveWorkload(cs.Workload)
+			if err != nil {
+				return nil, err
+			}
+			var a *crisp.Analysis
+			if cs.Crisp != nil {
+				a, err = r.Analysis(ctx, AnalysisSpec{Workload: cs.Workload, Insts: cs.Insts, Opts: *cs.Crisp})
+				if err != nil {
+					return nil, err
+				}
+			}
+			variant := workload.Ref
+			if cs.Input == sim.InputTrain {
+				variant = workload.Train
+			}
+			img := w.Build(variant)
+			if a != nil {
+				img.Prog = a.Apply(img.Prog)
+			}
+			imgs[i] = img
+		}
+		res, err := sim.RunMultiContext(ctx, imgs, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		r.executed.Add(1)
+		// Cache-write failures only cost a future re-simulation.
+		_ = r.store.Put(kindMulti, key, res)
+		return res, nil
+	}
+}

@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"crisp/internal/sim"
+)
+
+// TestRunMultiDedup: multi-core runs flow through the same single-flight
+// and persistent-store machinery as single-core ones — a repeated spec
+// memoizes in-process, and a second runner over the same cache dir loads
+// the published result from disk instead of re-simulating.
+func TestRunMultiDedup(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	spec := sim.MultiSpec{Cores: []sim.RunSpec{
+		{Workload: "tailchase", Insts: 20_000},
+		{Workload: "streambatch", Insts: 20_000},
+	}}
+
+	r1 := newRunner(t, Options{CacheDir: dir})
+	a, err := r1.RunMulti(ctx, spec)
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if len(a.Cores) != 2 || a.Cores[0].Insts == 0 || a.Cores[1].Insts == 0 {
+		t.Fatalf("empty multi result: %+v", a)
+	}
+	b, err := r1.RunMulti(ctx, spec)
+	if err != nil {
+		t.Fatalf("RunMulti (repeat): %v", err)
+	}
+	if a != b {
+		t.Error("repeated RunMulti did not memoize in-process")
+	}
+	if ex := r1.Stats().Executed; ex != 1 {
+		t.Errorf("Executed = %d, want 1", ex)
+	}
+
+	r2 := newRunner(t, Options{CacheDir: dir})
+	c, err := r2.RunMulti(ctx, spec)
+	if err != nil {
+		t.Fatalf("RunMulti (second process): %v", err)
+	}
+	if r2.Stats().Executed != 0 {
+		t.Error("second runner re-simulated despite a published store entry")
+	}
+	for i := range a.Cores {
+		if a.Cores[i].Cycles != c.Cores[i].Cycles || a.Cores[i].Insts != c.Cores[i].Insts {
+			t.Errorf("core %d: disk round-trip disagrees: %d/%d vs %d/%d cycles/insts",
+				i, a.Cores[i].Cycles, a.Cores[i].Insts, c.Cores[i].Cycles, c.Cores[i].Insts)
+		}
+	}
+	if a.DRAM.Reads != c.DRAM.Reads || a.LLC.Misses != c.LLC.Misses {
+		t.Error("shared-level stats did not survive the disk round-trip")
+	}
+}

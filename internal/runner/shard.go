@@ -1,0 +1,32 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseShard parses an "i/n" shard assignment as accepted by the -shard
+// flags: index i in [0, n) of n cooperating processes. It rejects the
+// malformed inputs that would otherwise silently skew a sweep — a zero
+// or negative shard count, an index outside [0, n), non-numeric pieces,
+// and trailing garbage (strconv.Atoi accepts no suffix, so "0/2x" and
+// "1.0/2" both fail here rather than half-parse).
+func ParseShard(s string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n, e.g. 0/4", s)
+	}
+	index, ierr := strconv.Atoi(strings.TrimSpace(is))
+	count, nerr := strconv.Atoi(strings.TrimSpace(ns))
+	if ierr != nil || nerr != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n with integer i and n, e.g. 0/4", s)
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("bad -shard %q: shard count must be >= 1", s)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0, %d)", s, count)
+	}
+	return index, count, nil
+}

@@ -20,6 +20,46 @@ func sweepSpecs() []sim.RunSpec {
 	return specs
 }
 
+// TestParseShard: the flag-level "i/n" parser accepts exactly the
+// well-formed in-range assignments and rejects everything that would
+// silently skew a sweep.
+func TestParseShard(t *testing.T) {
+	good := []struct {
+		in           string
+		index, count int
+	}{
+		{"0/1", 0, 1},
+		{"0/4", 0, 4},
+		{"3/4", 3, 4},
+		{" 1/2 ", 1, 2}, // stray whitespace from shell quoting
+	}
+	for _, c := range good {
+		i, n, err := ParseShard(c.in)
+		if err != nil || i != c.index || n != c.count {
+			t.Errorf("ParseShard(%q) = (%d, %d, %v), want (%d, %d, nil)", c.in, i, n, err, c.index, c.count)
+		}
+	}
+	bad := []string{
+		"",      // empty
+		"2",     // no slash
+		"0/0",   // zero count
+		"0/-1",  // negative count
+		"-1/2",  // negative index
+		"2/2",   // index == count
+		"3/2",   // index > count
+		"a/2",   // non-numeric index
+		"0/b",   // non-numeric count
+		"0/2/3", // extra piece
+		"0/2x",  // trailing garbage
+		"1.0/2", // not an integer
+	}
+	for _, in := range bad {
+		if _, _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) accepted, want error", in)
+		}
+	}
+}
+
 // TestShardValidation: sharding without a store, or with an
 // out-of-range index, is a configuration error, not a silent hang.
 func TestShardValidation(t *testing.T) {

@@ -25,6 +25,7 @@ type Store struct {
 // Store kinds (file-name prefixes).
 const (
 	kindRun       = "run"
+	kindMulti     = "multi"
 	kindAnalysis  = "analysis"
 	kindFootprint = "footprint"
 	kindCkpt      = "ckpt"

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// MaxCores bounds a MultiSpec's width. The lockstep driver is O(cores) per
+// shared cycle; eight covers every co-location experiment the harness runs
+// while keeping obviously-wrong specs (a workload list pasted into the
+// wrong field) from being simulated.
+const MaxCores = 8
+
+// MultiSpec is a pure-data description of one multi-core co-location
+// simulation: an ordered list of per-core RunSpec clauses, one core each,
+// running against a single shared LLC and DRAM (the Table 1 uncore — the
+// shared-memory geometry is part of CodeVersion, like every other Table 1
+// constant). Core order is significant: core i is requester i at the
+// shared levels and its addresses are offset into the i-th slice of the
+// physical address space.
+//
+// Like RunSpec, a MultiSpec has a deterministic content key over its
+// normalized clauses plus CodeVersion, so the runner/store machinery
+// deduplicates and persists multi-core runs exactly as it does
+// single-core ones.
+type MultiSpec struct {
+	Cores []RunSpec `json:"cores"`
+}
+
+// normalize canonicalizes every clause (same collapsing as RunSpec.Key).
+func (m MultiSpec) normalize() MultiSpec {
+	n := MultiSpec{Cores: make([]RunSpec, len(m.Cores))}
+	for i, c := range m.Cores {
+		n.Cores[i] = c.normalize()
+	}
+	return n
+}
+
+// Key returns the spec's deterministic content key. Two MultiSpecs with
+// equal keys describe byte-identical co-scheduled simulations.
+func (m MultiSpec) Key() string {
+	b, err := json.Marshal(m.normalize())
+	if err != nil { // unreachable: MultiSpec is plain data
+		panic(fmt.Sprintf("sim: marshal MultiSpec: %v", err))
+	}
+	h := sha256.Sum256(append([]byte(CodeVersion+"|multi|"), b...))
+	return hex.EncodeToString(h[:16])
+}
+
+// Validate reports spec-level errors: an empty or oversized core list, an
+// invalid clause, or clause features the multi-core driver does not
+// support (sampled simulation has no multi-core checkpoint story yet).
+func (m MultiSpec) Validate() error {
+	if len(m.Cores) == 0 {
+		return fmt.Errorf("sim: MultiSpec has no cores")
+	}
+	if len(m.Cores) > MaxCores {
+		return fmt.Errorf("sim: MultiSpec has %d cores (max %d)", len(m.Cores), MaxCores)
+	}
+	for i, c := range m.Cores {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+		if c.Sampling != nil {
+			return fmt.Errorf("sim: core %d requests sampling; multi-core runs are full-detail only", i)
+		}
+	}
+	return nil
+}
+
+// Configs materializes each clause's system configuration. All clauses
+// share one uncore, so their hierarchy geometries must agree (they always
+// do today: RunSpec has no hierarchy overrides).
+func (m MultiSpec) Configs() ([]Config, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cfgs := make([]Config, len(m.Cores))
+	for i, c := range m.Cores {
+		cfg, err := c.Config()
+		if err != nil {
+			return nil, fmt.Errorf("core %d: %w", i, err)
+		}
+		if cfg.Hier != cfgs[0].Hier && i > 0 {
+			return nil, fmt.Errorf("sim: core %d hierarchy geometry differs from core 0", i)
+		}
+		cfgs[i] = cfg
+	}
+	return cfgs, nil
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestMultiSpecKey(t *testing.T) {
+	a := MultiSpec{Cores: []RunSpec{
+		{Workload: "tailchase", Insts: 1000},
+		{Workload: "streambatch", Insts: 1000},
+	}}
+	if a.Key() != a.Key() {
+		t.Error("key not deterministic")
+	}
+	// Normalization collapses spelled-out defaults, as for RunSpec keys.
+	b := MultiSpec{Cores: []RunSpec{
+		{Workload: "tailchase", Insts: 1000, Input: InputRef, Sched: SchedOOO},
+		{Workload: "streambatch", Insts: 1000},
+	}}
+	if a.Key() != b.Key() {
+		t.Error("normalized spec keyed differently from its shorthand")
+	}
+	// Core order is significant (core i owns address slice i and requester
+	// slot i), so permuted clauses are a different simulation.
+	c := MultiSpec{Cores: []RunSpec{a.Cores[1], a.Cores[0]}}
+	if a.Key() == c.Key() {
+		t.Error("permuted core order shares a key")
+	}
+	// A multi key never collides with the single-core key of any clause.
+	solo := MultiSpec{Cores: []RunSpec{a.Cores[0]}}
+	if solo.Key() == a.Cores[0].Key() {
+		t.Error("1-core MultiSpec key collides with its clause's RunSpec key")
+	}
+}
+
+func TestMultiSpecValidate(t *testing.T) {
+	ok := MultiSpec{Cores: []RunSpec{
+		{Workload: "tailchase", Insts: 1000},
+		{Workload: "streambatch", Insts: 1000},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (MultiSpec{}).Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	wide := MultiSpec{Cores: make([]RunSpec, MaxCores+1)}
+	for i := range wide.Cores {
+		wide.Cores[i] = RunSpec{Workload: "tailchase", Insts: 1000}
+	}
+	if err := wide.Validate(); err == nil {
+		t.Errorf("%d-core spec accepted (max %d)", len(wide.Cores), MaxCores)
+	}
+	bad := MultiSpec{Cores: []RunSpec{{Workload: "tailchase", Insts: 1000, Sched: "fifo"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid clause accepted")
+	}
+	sampled := MultiSpec{Cores: []RunSpec{
+		{Workload: "tailchase", Sampling: &Sampling{Window: 1000, Count: 2}},
+	}}
+	if err := sampled.Validate(); err == nil {
+		t.Error("sampled clause accepted; multi-core runs are full-detail only")
+	}
+}

@@ -137,9 +137,11 @@ func attachPrefetcher(kind PrefetcherKind, hier *cache.Hierarchy) {
 }
 
 // attachIBDA wires an IBDA instance's delinquent-load feedback to the
-// LLC and returns its core-facing marker.
+// LLC and returns its core-facing marker. The observer registers through
+// the hierarchy view, so on a shared LLC it fires only for this core's
+// misses.
 func attachIBDA(ib *ibda.IBDA, prog *program.Program, hier *cache.Hierarchy) core.Marker {
-	hier.LLC.SetMissObserver(func(pc, _ uint64) {
+	hier.SetMissObserver(func(pc, _ uint64) {
 		spc := int(pc)
 		if spc >= 0 && spc < prog.Len() && prog.Insts[spc].Op == isa.OpLoad {
 			ib.OnLLCMiss(spc)

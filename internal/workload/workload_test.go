@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"pointerchase", "mcf", "omnetpp", "xalancbmk", "moses", "memcached",
 		"gcc", "bwaves", "cactus", "deepsjeng", "fotonik", "lbm", "nab",
 		"namd", "perlbench", "xhpcg", "imgdnn",
+		"tailchase", "streambatch", // co-location pair (multi-core figures)
 	}
 	if len(All()) != len(want) {
 		t.Fatalf("registry has %d workloads, want %d: %v", len(All()), len(want), Names())
