@@ -11,13 +11,16 @@
 //	crispsim -workload moses -sched ibda -ist 1024
 //	crispsim -workload mcf -sched crisp -cache .crisp-cache
 //	crispsim -cores tailchase,streambatch -sched crisp
+//	crispsim -workload mcf -sched crisp -server http://sweepbox:8080
 //	crispsim -list
 //
 // -cores runs a multi-core co-scheduled simulation: the listed workloads
 // run on cores 0..n-1 over one shared LLC and DRAM, with -sched applied
 // to core 0 (the latency-critical slot) and every neighbour on the OOO
 // baseline. -shard i/n joins a multi-process sweep over one -store, as
-// in cmd/experiments.
+// in cmd/experiments. -server delegates the simulations to a crispd job
+// server instead, which dedups them against its shared store across all
+// connected clients.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"crisp/internal/core"
 	"crisp/internal/crisp"
+	"crisp/internal/crispd"
 	"crisp/internal/ibda"
 	"crisp/internal/metrics"
 	"crisp/internal/runner"
@@ -54,6 +58,7 @@ func run() int {
 		storeDir   = flag.String("store", "", "persist/reuse results and checkpoint sets in this directory (process-safe)")
 		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
 		shard      = flag.String("shard", "", "run as shard i/n of a multi-process sweep over one -store (e.g. 0/2)")
+		server     = flag.String("server", "", "delegate simulations to a crispd job server at this URL (e.g. http://host:8080); excludes -store/-cache/-shard")
 		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		list       = flag.Bool("list", false, "list workloads and exit")
@@ -120,12 +125,21 @@ func run() int {
 			return 2
 		}
 	}
+	var remote runner.Remote
+	if *server != "" {
+		if dir != "" || *shard != "" {
+			fmt.Fprintln(os.Stderr, "crispsim: -server excludes -store/-cache/-shard (the server owns the store)")
+			return 2
+		}
+		remote = crispd.NewClient(*server)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	r, err := runner.New(ctx, runner.Options{
 		Workers: 1, CacheDir: dir,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
 		ShardIndex: shardIndex, ShardCount: shardCount,
+		Remote: remote,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crispsim:", err)

@@ -28,7 +28,13 @@
 //	experiments -fig 7 -only mcf,lbm # subset of the suite
 //	experiments -fig 7 -store S -shard 0/2 &   # two-process scale-out
 //	experiments -fig 7 -store S -shard 1/2
+//	experiments -fig 7 -server http://sweepbox:8080   # crispd job server
 //	experiments -fig 7 -cpuprofile cpu.out -memprofile mem.out
+//
+// -server delegates every simulation to a crispd job server: the server
+// owns the store and dedups submissions across all connected clients,
+// so n harness processes pointed at one server cost each spec once —
+// like -shard, but without pre-partitioning the spec list.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"crisp/internal/crispd"
 	"crisp/internal/harness"
 	"crisp/internal/runner"
 	"crisp/internal/sim"
@@ -66,6 +73,7 @@ func run() int {
 		storeDir   = flag.String("store", "", "persist results and checkpoint sets in this directory, shared safely between processes")
 		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
 		shard      = flag.String("shard", "", "run as shard i/n of a multi-process sweep over one -store (e.g. 0/2)")
+		server     = flag.String("server", "", "delegate simulations to a crispd job server at this URL; excludes -store/-cache/-shard")
 		metricsOut = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
 		timeout    = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
@@ -141,10 +149,20 @@ func run() int {
 		defer cancel()
 	}
 
+	var remote runner.Remote
+	if *server != "" {
+		if dir != "" || *shard != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -server excludes -store/-cache/-shard (the server owns the store)")
+			return 2
+		}
+		remote = crispd.NewClient(*server)
+	}
+
 	r, err := runner.New(ctx, runner.Options{
 		Workers: *jobs, CacheDir: dir,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
 		ShardIndex: shardIndex, ShardCount: shardCount,
+		Remote: remote,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -238,6 +256,9 @@ func run() int {
 			s.DiskHits, dir, s.Executed)
 		fmt.Printf("# store: %d checkpoint sets captured, %d loaded from disk, %.2fs blocked on cross-process locks\n",
 			s.CkptCaptured, s.CkptDiskHits, float64(s.LockWaitNS)/1e9)
+	}
+	if s := r.Stats(); !*csv && s.RemoteRuns > 0 {
+		fmt.Printf("# server: %d tasks resolved by %s\n", s.RemoteRuns, *server)
 	}
 	return 0
 }

@@ -1,0 +1,222 @@
+package crispd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"crisp/internal/core"
+	"crisp/internal/crisp"
+	"crisp/internal/runner"
+	"crisp/internal/sim"
+)
+
+// Client talks to a crispd server and satisfies runner.Remote, so a
+// local Runner built with Options.Remote delegates whole tasks to the
+// server while keeping its in-process memo table: within one harness
+// process each spec costs one HTTP round trip, and across processes
+// the server's job table plus store dedup the rest.
+//
+// Submissions use ?wait=1 so the response carries the result; 429
+// backpressure is retried honoring Retry-After until the caller's
+// context expires.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+var _ runner.Remote = (*Client)(nil)
+
+// NewClient returns a client for the crispd server at base, e.g.
+// "http://sweepbox:8080".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// maxResultBytes bounds result decoding (full-suite multi results with
+// per-core breakdowns stay far under this).
+const maxResultBytes = 256 << 20
+
+// Run submits a single-core simulation and blocks for its result.
+func (c *Client) Run(ctx context.Context, spec sim.RunSpec) (*core.Result, error) {
+	var res core.Result
+	if err := c.submit(ctx, "/v1/runs", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// RunMulti submits a multi-core co-run and blocks for its result.
+func (c *Client) RunMulti(ctx context.Context, spec sim.MultiSpec) (*sim.MultiResult, error) {
+	var res sim.MultiResult
+	if err := c.submit(ctx, "/v1/multi", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Analysis submits a criticality-analysis pipeline task.
+func (c *Client) Analysis(ctx context.Context, spec runner.AnalysisSpec) (*crisp.Analysis, error) {
+	var res crisp.Analysis
+	if err := c.submit(ctx, "/v1/analyses", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Footprint submits a slice-footprint pipeline task.
+func (c *Client) Footprint(ctx context.Context, spec runner.AnalysisSpec) (*crisp.Footprint, error) {
+	var res crisp.Footprint
+	if err := c.submit(ctx, "/v1/footprints", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Statsz fetches the server's counters.
+func (c *Client) Statsz(ctx context.Context) (Statsz, error) {
+	var st Statsz
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/statsz", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return st, fmt.Errorf("crispd client: statsz: %w", err)
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	resp.Body.Close()
+	if rerr != nil {
+		return st, fmt.Errorf("crispd client: statsz: %w", rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("crispd client: statsz: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return st, json.Unmarshal(body, &st)
+}
+
+// submit POSTs spec to path with ?wait=1, retries 429 backpressure, and
+// decodes the terminal job's result into dest.
+func (c *Client) submit(ctx context.Context, path string, spec, dest any) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("crispd client: marshal spec: %w", err)
+	}
+	for {
+		st, retry, err := c.postOnce(ctx, path, body)
+		if err != nil {
+			return err
+		}
+		if retry > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		return c.finish(ctx, st, dest)
+	}
+}
+
+// postOnce performs one submission attempt. A positive retry means the
+// server pushed back (429) and the caller should wait that long.
+func (c *Client) postOnce(ctx context.Context, path string, body []byte) (JobStatus, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path+"?wait=1", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobStatus{}, 0, fmt.Errorf("crispd client: %w", err)
+	}
+	rb, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	resp.Body.Close()
+	if rerr != nil {
+		return JobStatus{}, 0, fmt.Errorf("crispd client: read response: %w", rerr)
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return JobStatus{}, retryAfter(resp, time.Second), nil
+	case http.StatusOK, http.StatusAccepted:
+		var st JobStatus
+		if err := json.Unmarshal(rb, &st); err != nil {
+			return JobStatus{}, 0, fmt.Errorf("crispd client: decode job status: %w", err)
+		}
+		return st, 0, nil
+	default:
+		return JobStatus{}, 0, fmt.Errorf("crispd client: %s %s: %s: %s", http.MethodPost, path, resp.Status, strings.TrimSpace(string(rb)))
+	}
+}
+
+// finish turns a terminal status into dest or an error, polling the job
+// if the server answered before it reached a terminal state.
+func (c *Client) finish(ctx context.Context, st JobStatus, dest any) error {
+	for !st.State.terminal() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+		var err error
+		if st, err = c.status(ctx, st.Key); err != nil {
+			return err
+		}
+	}
+	if st.State == StateFailed {
+		return fmt.Errorf("crispd client: job %s failed: %s", st.Key, st.Error)
+	}
+	if err := json.Unmarshal(st.Result, dest); err != nil {
+		return fmt.Errorf("crispd client: decode result for job %s: %w", st.Key, err)
+	}
+	return nil
+}
+
+// status polls GET /v1/runs/{key}.
+func (c *Client) status(ctx context.Context, key string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+key, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("crispd client: %w", err)
+	}
+	rb, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	resp.Body.Close()
+	if rerr != nil {
+		return JobStatus{}, fmt.Errorf("crispd client: read status: %w", rerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("crispd client: status %s: %s: %s", key, resp.Status, strings.TrimSpace(string(rb)))
+	}
+	var st JobStatus
+	if err := json.Unmarshal(rb, &st); err != nil {
+		return JobStatus{}, fmt.Errorf("crispd client: decode job status: %w", err)
+	}
+	return st, nil
+}
+
+// retryAfter parses the Retry-After header, defaulting (and capping)
+// sensibly so a misbehaving server cannot park the client forever.
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	s, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || s < 0 {
+		return fallback
+	}
+	d := time.Duration(s) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	if d == 0 {
+		d = 100 * time.Millisecond
+	}
+	return d
+}

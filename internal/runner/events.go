@@ -1,0 +1,57 @@
+package runner
+
+import "strings"
+
+// TaskState is a point in a task's single-flight lifecycle.
+type TaskState int
+
+// Task lifecycle states, in order. Every owned task emits Queued when it
+// registers in the memo table, Running once it holds a worker token and
+// begins computing (a disk-cache hit still passes through Running — the
+// store check happens inside the task body), and exactly one of Done or
+// Failed. Joining callers emit nothing: single-flight means one
+// lifecycle per key.
+const (
+	TaskQueued TaskState = iota
+	TaskRunning
+	TaskDone
+	TaskFailed
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskQueued:
+		return "queued"
+	case TaskRunning:
+		return "running"
+	case TaskDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// TaskEvent is one observation of the runner's task lifecycle, delivered
+// to Options.OnEvent. Kind is the task family ("run", "multi",
+// "analysis", "footprint", "ckpt", "trace") and Key the content key
+// within it — the same (kind, key) pair the persistent store files are
+// named by, so an observer can correlate events with store entries.
+type TaskEvent struct {
+	Kind  string
+	Key   string
+	State TaskState
+	// Err carries the task error on TaskFailed, nil otherwise.
+	Err error
+}
+
+// emit delivers a lifecycle event for a memo-table key ("kind|key") to
+// the configured observer. The callback runs on the task's goroutine
+// with no runner locks held; it must be fast and must not call back
+// into the runner synchronously.
+func (r *Runner) emit(memoKey string, state TaskState, err error) {
+	if r.onEvent == nil {
+		return
+	}
+	kind, key, _ := strings.Cut(memoKey, "|")
+	r.onEvent(TaskEvent{Kind: kind, Key: key, State: state, Err: err})
+}

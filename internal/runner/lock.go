@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,23 +40,54 @@ func (s *Store) lockPath(kind, key string) string {
 	return filepath.Join(s.dir, kind+"-"+key+".lock")
 }
 
+// lockWrite writes the lock body and closes the file, reporting the
+// first error. It is a variable only so tests can inject the full-disk
+// failure that is otherwise impractical to provoke in a temp dir.
+var lockWrite = func(f *os.File, body string) error {
+	if _, err := io.WriteString(f, body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // LockHeld reports whether a live process currently holds the advisory
 // lock for (kind, key). Shard peers use it to distinguish "the owner is
 // computing this" from "nobody is".
 func (s *Store) LockHeld(kind, key string) bool {
-	if s.dir == "" {
-		return false
-	}
-	path := s.lockPath(kind, key)
-	b, err := os.ReadFile(path)
+	b, mod, ok := lockSnapshot(s.lockPath(kind, key))
+	return ok && !lockStale(b, mod)
+}
+
+// lockSnapshotGap is a test seam invoked between the content read and
+// the stat inside lockSnapshot, so tests can interleave a release and
+// re-acquire at the exact point the old two-path implementation raced.
+var lockSnapshotGap func()
+
+// lockSnapshot reads a lock file's content and modification time as one
+// consistent pair: both come from a single open file descriptor, so a
+// lock released and re-acquired between the two reads cannot pair the
+// old file's content with the new file's mtime (which misjudged
+// staleness — an empty crashed lock looked freshly written, so peers
+// waited on it forever instead of breaking it).
+func lockSnapshot(path string) (content []byte, mod time.Time, ok bool) {
+	f, err := os.Open(path)
 	if err != nil {
-		return false
+		return nil, time.Time{}, false
 	}
-	fi, err := os.Stat(path)
+	defer f.Close()
+	content, err = io.ReadAll(f)
 	if err != nil {
-		return false
+		return nil, time.Time{}, false
 	}
-	return !lockStale(b, fi.ModTime())
+	if lockSnapshotGap != nil {
+		lockSnapshotGap()
+	}
+	fi, err := f.Stat() // fstat: describes the inode we read, even if the path was replaced
+	if err != nil {
+		return nil, time.Time{}, false
+	}
+	return content, fi.ModTime(), true
 }
 
 // Lock acquires the advisory cross-process lock for (kind, key),
@@ -72,8 +104,16 @@ func (s *Store) Lock(ctx context.Context, kind, key string) (release func(), wai
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
 			host, _ := os.Hostname()
-			fmt.Fprintf(f, "%d %d %s", os.Getpid(), time.Now().UnixNano(), host)
-			f.Close()
+			body := fmt.Sprintf("%d %d %s", os.Getpid(), time.Now().UnixNano(), host)
+			if werr := lockWrite(f, body); werr != nil {
+				// A failed body write (full disk, dying filesystem) must not
+				// leave an empty lock behind: peers would judge it stale
+				// after lockEmptyTTL and break it mid-compute — exactly the
+				// duplicate execution the lock exists to prevent. Remove the
+				// file and fail the acquire instead of proceeding unlocked.
+				os.Remove(path)
+				return nil, time.Since(start), fmt.Errorf("runner: write lock %s: %w", path, werr)
+			}
 			return func() { os.Remove(path) }, time.Since(start), nil
 		}
 		if !errors.Is(err, os.ErrExist) {
@@ -95,12 +135,8 @@ func (s *Store) Lock(ctx context.Context, kind, key string) (release func(), wai
 // computation, and the post-acquire store re-check keeps entries
 // single-writer-consistent.
 func (s *Store) breakIfStale(path string) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return
-	}
-	fi, err := os.Stat(path)
-	if err != nil || !lockStale(b, fi.ModTime()) {
+	b, mod, ok := lockSnapshot(path)
+	if !ok || !lockStale(b, mod) {
 		return
 	}
 	if b2, err := os.ReadFile(path); err != nil || !bytes.Equal(b, b2) {

@@ -131,6 +131,74 @@ func TestLockStaleRecovery(t *testing.T) {
 	}
 }
 
+// TestLockWriteFailure: a failed lock-body write (the full-disk case)
+// must fail the acquire and remove the lock file, instead of proceeding
+// with an empty lock that peers judge stale after lockEmptyTTL and
+// break mid-compute — the duplicate-capture case the lock prevents.
+func TestLockWriteFailure(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := lockWrite
+	lockWrite = func(f *os.File, body string) error {
+		f.Close()
+		return fmt.Errorf("write: no space left on device")
+	}
+	defer func() { lockWrite = orig }()
+
+	if _, _, err := s.Lock(context.Background(), kindRun, "k"); err == nil {
+		t.Fatal("Lock succeeded despite a failed lock-body write")
+	}
+	if _, err := os.Stat(s.lockPath(kindRun, "k")); !os.IsNotExist(err) {
+		t.Errorf("failed acquire left the lock file behind (stat err = %v)", err)
+	}
+
+	// With the write working again the same key must be acquirable
+	// immediately — no stale debris to wait out.
+	lockWrite = orig
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rel, _, err := s.Lock(ctx, kindRun, "k")
+	if err != nil {
+		t.Fatalf("re-acquire after failed write: %v", err)
+	}
+	rel()
+}
+
+// TestLockHeldSnapshotRace: LockHeld must judge content and mtime from
+// one file, not pair an old file's content with its replacement's
+// mtime. The seam fires between the read and the stat; replacing a
+// stale empty lock with a fresh one there made the old implementation
+// report the stale lock as held (old empty content + new fresh mtime),
+// so shard peers kept resetting their steal deadline forever.
+func TestLockHeldSnapshotRace(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.lockPath(kindRun, "raced")
+	// A crashed holder's empty lock, old enough to be stale.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * lockEmptyTTL)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	lockSnapshotGap = func() {
+		lockSnapshotGap = nil // fire once: the replacement re-stats too
+		os.Remove(path)
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Error(err)
+		}
+	}
+	defer func() { lockSnapshotGap = nil }()
+	if s.LockHeld(kindRun, "raced") {
+		t.Error("LockHeld judged the stale lock by its replacement's mtime")
+	}
+}
+
 // TestLockDisabledStore: a nil-dir store's locks are free no-ops.
 func TestLockDisabledStore(t *testing.T) {
 	s, err := NewStore("")

@@ -48,6 +48,14 @@ func (r *Runner) multiTask(spec sim.MultiSpec) func(context.Context) (any, error
 		if err != nil {
 			return nil, err
 		}
+		if r.remote != nil {
+			res, err := r.remote.RunMulti(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			r.remoteRuns.Add(1)
+			return res, nil
+		}
 		key := spec.Key()
 		var cached sim.MultiResult
 		if r.store.Get(kindMulti, key, &cached) {

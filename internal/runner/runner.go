@@ -46,6 +46,17 @@ type Options struct {
 	// StealGrace overrides how long a non-owning shard waits for an absent
 	// owner before computing a spec itself (0 = 2s default).
 	StealGrace time.Duration
+	// OnEvent, when non-nil, observes every owned task's lifecycle
+	// (queued → running → done/failed). The callback runs on task
+	// goroutines with no runner locks held; it must be fast and must not
+	// call back into the runner synchronously. crispd uses it to track
+	// job state and stream progress to HTTP clients.
+	OnEvent func(TaskEvent)
+	// Remote, when non-nil, delegates run/multi/analysis/footprint tasks
+	// to a crispd job server instead of simulating locally. Mutually
+	// exclusive with CacheDir and sharding: the server owns persistence
+	// and cross-client dedup.
+	Remote Remote
 }
 
 // Stats is a snapshot of the runner's progress counters.
@@ -58,16 +69,19 @@ type Stats struct {
 	CkptCaptured int64 // checkpoint sets captured (fast-forward executed)
 	CkptDiskHits int64 // checkpoint sets loaded from the persistent store
 	LockWaitNS   int64 // total time blocked on cross-process file locks
+	RemoteRuns   int64 // tasks resolved by a remote crispd server
 }
 
 // Runner is a context-aware single-flight executor: each distinct task
 // key runs at most once, concurrent requesters share the result, and at
 // most Workers tasks simulate at a time.
 type Runner struct {
-	ctx   context.Context
-	sem   chan struct{}
-	store *Store
-	sink  *metricsSink
+	ctx     context.Context
+	sem     chan struct{}
+	store   *Store
+	sink    *metricsSink
+	onEvent func(TaskEvent)
+	remote  Remote
 
 	shardIndex, shardCount int
 	stealGrace             time.Duration
@@ -77,6 +91,7 @@ type Runner struct {
 
 	started, done, failed, executed, diskHits atomic.Int64
 	ckptCaptured, ckptDiskHits, lockWaitNS    atomic.Int64
+	remoteRuns                                atomic.Int64
 }
 
 type call struct {
@@ -103,6 +118,14 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 			return nil, fmt.Errorf("runner: shard index %d out of range [0,%d)", opts.ShardIndex, opts.ShardCount)
 		}
 	}
+	if opts.Remote != nil {
+		if opts.CacheDir != "" {
+			return nil, fmt.Errorf("runner: remote execution and a local store are mutually exclusive: the server owns persistence and dedup")
+		}
+		if opts.ShardCount > 1 {
+			return nil, fmt.Errorf("runner: remote execution and sharding are mutually exclusive: the server's worker pool is the shard unit")
+		}
+	}
 	stealGrace := opts.StealGrace
 	if stealGrace <= 0 {
 		stealGrace = 2 * time.Second
@@ -120,12 +143,19 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 		sem:        make(chan struct{}, workers),
 		store:      store,
 		sink:       sink,
+		onEvent:    opts.OnEvent,
+		remote:     opts.Remote,
 		shardIndex: opts.ShardIndex,
 		shardCount: opts.ShardCount,
 		stealGrace: stealGrace,
 		calls:      make(map[string]*call),
 	}, nil
 }
+
+// Store returns the runner's persistent store. It is never nil; a
+// runner without a cache dir holds a disabled store. crispd reads it to
+// serve already-published results without occupying a queue slot.
+func (r *Runner) Store() *Store { return r.store }
 
 // Close flushes and closes the metrics streams (no-op when none are
 // configured). The runner remains usable for simulation afterwards; only
@@ -145,6 +175,7 @@ func (r *Runner) Stats() Stats {
 		CkptCaptured: r.ckptCaptured.Load(),
 		CkptDiskHits: r.ckptDiskHits.Load(),
 		LockWaitNS:   r.lockWaitNS.Load(),
+		RemoteRuns:   r.remoteRuns.Load(),
 	}
 }
 
@@ -217,6 +248,7 @@ func (r *Runner) do(ctx context.Context, key string, fn func(context.Context) (a
 		r.calls[key] = c
 		r.mu.Unlock()
 		r.started.Add(1)
+		r.emit(key, TaskQueued, nil)
 
 		s, _ := ctx.Value(slotCtxKey{}).(*slot)
 		if s == nil {
@@ -227,6 +259,7 @@ func (r *Runner) do(ctx context.Context, key string, fn func(context.Context) (a
 		if err := r.acquire(ctx, s); err != nil {
 			c.err = err
 		} else {
+			r.emit(key, TaskRunning, nil)
 			c.val, c.err = fn(ctx)
 			if !nested {
 				r.release(s)
@@ -241,6 +274,9 @@ func (r *Runner) do(ctx context.Context, key string, fn func(context.Context) (a
 			}
 			r.mu.Unlock()
 			r.failed.Add(1)
+			r.emit(key, TaskFailed, c.err)
+		} else {
+			r.emit(key, TaskDone, nil)
 		}
 		r.done.Add(1)
 		close(c.done)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"time"
 
 	"crisp/internal/checkpoint"
 )
@@ -31,8 +32,26 @@ const (
 	kindCkpt      = "ckpt"
 )
 
-// NewStore returns a Store rooted at dir, creating it if needed. An
-// empty dir disables persistence.
+// Exported kind names, for external readers of a shared store (crispd
+// serves already-published entries straight from disk).
+const (
+	KindRun       = kindRun
+	KindMulti     = kindMulti
+	KindAnalysis  = kindAnalysis
+	KindFootprint = kindFootprint
+)
+
+// tmpSweepTTL is how old a *.tmp file must be before NewStore removes
+// it. writeAtomic deletes its temp file on every error path, so a .tmp
+// that outlives this is debris from a crashed process (killed between
+// CreateTemp and rename); an hour is far beyond any live write — even a
+// checkpoint-set encode finishes in seconds — so sweeping cannot race a
+// writer in another process.
+const tmpSweepTTL = time.Hour
+
+// NewStore returns a Store rooted at dir, creating it if needed, and
+// sweeps temp-file debris left by crashed writers. An empty dir
+// disables persistence.
 func NewStore(dir string) (*Store, error) {
 	if dir == "" {
 		return &Store{}, nil
@@ -40,7 +59,34 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: create cache dir: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepTmp(time.Now())
+	return s, nil
+}
+
+// sweepTmp removes stale *.tmp files under the store root. A process
+// that crashes between CreateTemp and rename orphans its temp file;
+// without a sweep they accumulate forever in a shared store directory.
+// Only files older than tmpSweepTTL go, so live writers in other
+// processes are untouched, and every error is ignored — the sweep is
+// best-effort hygiene, never a reason to fail an open.
+func (s *Store) sweepTmp(now time.Time) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".tmp" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if now.Sub(info.ModTime()) > tmpSweepTTL {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
 }
 
 // Enabled reports whether the store persists anything.

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"crisp/internal/sim"
 	"crisp/internal/workload"
@@ -85,6 +86,43 @@ func TestStoreDeletesCorruptEntry(t *testing.T) {
 	}
 	if _, err := os.Stat(s.path(kindRun, "k")); !os.IsNotExist(err) {
 		t.Error("corrupt entry not deleted on miss")
+	}
+}
+
+// TestStoreSweepsStaleTmp: NewStore removes *.tmp debris left by a
+// process that crashed between CreateTemp and rename — but only files
+// older than tmpSweepTTL, so a live writer in another process keeps its
+// in-flight temp file, and non-tmp entries are never touched.
+func TestStoreSweepsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "run-12345678.tmp")
+	fresh := filepath.Join(dir, "ckpt-87654321.tmp")
+	entry := filepath.Join(dir, "run-deadbeef.json")
+	for _, p := range []string{stale, fresh, entry} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepTTL)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// The real entry is also old: age must only matter for .tmp files.
+	if err := os.Chtimes(entry, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived NewStore (stat err = %v)", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file swept: a live writer's in-flight file was removed (%v)", err)
+	}
+	if _, err := os.Stat(entry); err != nil {
+		t.Errorf("non-tmp store entry swept: %v", err)
 	}
 }
 

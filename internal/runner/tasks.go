@@ -81,6 +81,14 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if r.remote != nil {
+			res, err := r.remote.Run(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			r.remoteRuns.Add(1)
+			return res, nil
+		}
 		key := spec.Key()
 		var cached core.Result
 		if r.store.Get(kindRun, key, &cached) {
@@ -176,6 +184,21 @@ func (s AnalysisSpec) Key() string {
 	return hex.EncodeToString(h[:16])
 }
 
+// Validate reports spec-level errors a remote submission must reject
+// before any work starts: a missing workload name (existence is checked
+// by the executor, which owns the registry) or a zero instruction
+// budget, which would profile to Halt — and the workload kernels never
+// halt, they run until a budget stops them.
+func (s AnalysisSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("runner: AnalysisSpec has no workload")
+	}
+	if s.Insts == 0 {
+		return fmt.Errorf("runner: AnalysisSpec has no instruction budget (the profiling run would never halt)")
+	}
+	return nil
+}
+
 // Analysis resolves the CRISP software pipeline for a spec. The train
 // profiling run is a regular timing job (deduped and disk-cached like
 // any other); the trace is memoized in memory; the resulting Analysis is
@@ -210,6 +233,14 @@ func (r *Runner) analysisTask(spec AnalysisSpec) func(context.Context) (any, err
 		w, err := resolveWorkload(spec.Workload)
 		if err != nil {
 			return nil, err
+		}
+		if r.remote != nil {
+			a, err := r.remote.Analysis(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			r.remoteRuns.Add(1)
+			return a, nil
 		}
 		var cached crisp.Analysis
 		if r.store.Get(kindAnalysis, spec.Key(), &cached) {
@@ -357,6 +388,14 @@ func (r *Runner) footprintTask(spec AnalysisSpec) func(context.Context) (any, er
 		w, err := resolveWorkload(spec.Workload)
 		if err != nil {
 			return nil, err
+		}
+		if r.remote != nil {
+			fp, err := r.remote.Footprint(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			r.remoteRuns.Add(1)
+			return fp, nil
 		}
 		var cached crisp.Footprint
 		if r.store.Get(kindFootprint, spec.Key(), &cached) {

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Strict spec decoding for the wire: specs arriving over HTTP (crispd)
+// or from files must round-trip exactly — an unknown field is a typo or
+// a version skew that would silently change the simulation a content
+// key names, so it is an error here, not a zero value. Local in-process
+// construction uses the struct literals directly and never passes
+// through this path.
+
+// decodeStrict decodes one JSON value into v, rejecting unknown fields
+// and trailing data.
+func decodeStrict(data []byte, v any, what string) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("sim: decode %s: %w", what, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("sim: decode %s: trailing data after the spec", what)
+	}
+	return nil
+}
+
+// DecodeRunSpec strictly decodes and validates a JSON RunSpec. The
+// decoded spec's Key equals the Key of the spec that was marshalled —
+// normalization happens inside Key, so the round trip is loss-free.
+func DecodeRunSpec(data []byte) (RunSpec, error) {
+	var s RunSpec
+	if err := decodeStrict(data, &s, "RunSpec"); err != nil {
+		return RunSpec{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return RunSpec{}, err
+	}
+	return s, nil
+}
+
+// DecodeMultiSpec strictly decodes and validates a JSON MultiSpec.
+func DecodeMultiSpec(data []byte) (MultiSpec, error) {
+	var m MultiSpec
+	if err := decodeStrict(data, &m, "MultiSpec"); err != nil {
+		return MultiSpec{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return MultiSpec{}, err
+	}
+	return m, nil
+}
