@@ -19,6 +19,7 @@ import (
 	"crisp/internal/crisp"
 	"crisp/internal/emu"
 	"crisp/internal/harness"
+	"crisp/internal/program"
 	"crisp/internal/runner"
 	"crisp/internal/sim"
 	"crisp/internal/workload"
@@ -539,6 +540,152 @@ func BenchmarkHostThroughputSampledSweep(b *testing.B) {
 		b.Logf("BENCH_sweep.json not written: %v", err)
 	}
 	b.Logf("sweep summary: %s", out)
+}
+
+// BenchmarkHostThroughputMulticoreSampled measures what co-scheduled
+// checkpointing buys a colocate sweep: four configs of one 2-core
+// tailchase+streambatch tuple — core 0's scheduler and backend window
+// size vary, the axes that share a single capture (the prefetcher tuple
+// is part of the capture key, so it stays pinned). Three legs:
+//
+//   - full_detail: every config steps both cores in full-detail
+//     lockstep over the whole budget;
+//   - cold_store: first process against an empty store — calibrated
+//     co-scheduled capture, persist, then the detailed lockstep windows
+//     per config;
+//   - warm_store: second process against the populated store —
+//     load+decode the multi-set, then the same windows per config.
+//
+// The headline number is sweep_speedup_x (full_detail over warm_store):
+// how much faster a scheduler/window sweep runs once the capture is
+// amortized. The summary lands in BENCH_multicore_sampled.json.
+func BenchmarkHostThroughputMulticoreSampled(b *testing.B) {
+	const perCore = 1_000_000
+	s := sim.AutoSampling(perCore)
+	pair := []string{"tailchase", "streambatch"}
+	newImgs := func() []*sim.Image {
+		return []*sim.Image{
+			workload.ByName(pair[0]).Build(workload.Ref),
+			workload.ByName(pair[1]).Build(workload.Ref),
+		}
+	}
+	var sweepCfgs [][]sim.Config
+	for _, sched := range []core.SchedulerKind{core.SchedOldestFirst, core.SchedRandom} {
+		for _, rs := range []int{96, 48} {
+			cfgs := []sim.Config{sim.DefaultConfig().WithSched(sched), sim.DefaultConfig()}
+			cfgs[0].Core.RSSize = rs
+			sweepCfgs = append(sweepCfgs, cfgs)
+		}
+	}
+	sweep := func(b *testing.B, set *checkpoint.MultiSet) {
+		for _, cfgs := range sweepCfgs {
+			imgs := newImgs()
+			progs := []*program.Program{imgs[0].Prog, imgs[1].Prog}
+			if _, err := sim.RunMultiSampled(set, progs, cfgs, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	const benchKey = "bench-mckpt"
+
+	type leg struct {
+		iters            int
+		totalNS, startNS int64
+	}
+	var full, cold, warm leg
+
+	b.Run("full_detail", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			for _, cfgs := range sweepCfgs {
+				fcfgs := make([]sim.Config, len(cfgs))
+				for j := range cfgs {
+					fcfgs[j] = cfgs[j]
+					fcfgs[j].Core.MaxInsts = perCore
+				}
+				if _, err := sim.RunMulti(newImgs(), fcfgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			full.totalNS += time.Since(start).Nanoseconds()
+		}
+		full.iters = b.N
+	})
+
+	b.Run("cold_store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store, err := runner.NewStore(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := time.Now()
+			set, err := sim.CaptureMultiCheckpoints(newImgs(), sweepCfgs[0], s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.PutMultiCheckpoint(benchKey, set); err != nil {
+				b.Fatal(err)
+			}
+			cold.startNS += time.Since(start).Nanoseconds()
+			sweep(b, set)
+			cold.totalNS += time.Since(start).Nanoseconds()
+		}
+		cold.iters = b.N
+		b.ReportMetric(float64(cold.startNS)/1e9/float64(b.N), "capture_persist_s")
+	})
+
+	b.Run("warm_store", func(b *testing.B) {
+		store, err := runner.NewStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Populate once, untimed: the warm leg is the second process.
+		set, err := sim.CaptureMultiCheckpoints(newImgs(), sweepCfgs[0], s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.PutMultiCheckpoint(benchKey, set); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			got, ok := store.GetMultiCheckpoint(benchKey)
+			if !ok {
+				b.Fatal("warm store missed")
+			}
+			warm.startNS += time.Since(start).Nanoseconds()
+			sweep(b, got)
+			warm.totalNS += time.Since(start).Nanoseconds()
+		}
+		warm.iters = b.N
+		b.ReportMetric(float64(warm.startNS)/1e9/float64(b.N), "load_decode_s")
+	})
+
+	if full.iters == 0 || cold.iters == 0 || warm.iters == 0 {
+		return // a -bench filter skipped a leg; nothing to summarize
+	}
+	avgS := func(ns int64, n int) float64 { return float64(ns) / 1e9 / float64(n) }
+	summary := map[string]any{
+		"pair":            pair,
+		"budget_per_core": perCore,
+		"configs":         len(sweepCfgs),
+		"full_sweep_s":    avgS(full.totalNS, full.iters),
+		"cold_sweep_s":    avgS(cold.totalNS, cold.iters),
+		"warm_sweep_s":    avgS(warm.totalNS, warm.iters),
+		"cold_start_s":    avgS(cold.startNS, cold.iters),
+		"warm_start_s":    avgS(warm.startNS, warm.iters),
+		"cold_speedup_x":  avgS(full.totalNS, full.iters) / avgS(cold.totalNS, cold.iters),
+		"sweep_speedup_x": avgS(full.totalNS, full.iters) / avgS(warm.totalNS, warm.iters),
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_multicore_sampled.json", append(out, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_multicore_sampled.json not written: %v", err)
+	}
+	b.Logf("multicore sampled summary: %s", out)
 }
 
 // BenchmarkExtension_DivSlices exercises the Section 6.1 extension:

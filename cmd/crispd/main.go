@@ -7,6 +7,7 @@
 //
 //	crispd -store /var/crisp/store -listen :8080
 //	crispd -store S -workers 16 -queue 256
+//	crispd -store S -pprof localhost:6060   # profiling side listener
 //
 // Endpoints (see internal/crispd and DESIGN.md):
 //
@@ -31,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,8 +55,28 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "how long to let in-flight jobs finish on SIGTERM before cancelling them")
 		metricsOut   = flag.String("metrics", "", "append per-run cycle-accounting records to this JSONL file")
 		metricsCSV   = flag.String("metrics-csv", "", "append per-run cycle-accounting rows to this CSV file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keep it off the public listener")
 	)
 	flag.Parse()
+
+	// The profiling endpoints live on their own listener with their own
+	// mux: the job API's mux never grows /debug/pprof/* routes, so an
+	// internet-facing -listen cannot leak profiles, and a wedged job
+	// queue cannot block profile scrapes.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "crispd: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "crispd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	s, err := crispd.New(context.Background(), crispd.Options{
 		Store:        *storeDir,

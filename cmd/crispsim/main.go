@@ -11,13 +11,19 @@
 //	crispsim -workload moses -sched ibda -ist 1024
 //	crispsim -workload mcf -sched crisp -cache .crisp-cache
 //	crispsim -cores tailchase,streambatch -sched crisp
+//	crispsim -cores tailchase,streambatch -sched crisp -sampled
 //	crispsim -workload mcf -sched crisp -server http://sweepbox:8080
 //	crispsim -list
 //
 // -cores runs a multi-core co-scheduled simulation: the listed workloads
 // run on cores 0..n-1 over one shared LLC and DRAM, with -sched applied
 // to core 0 (the latency-critical slot) and every neighbour on the OOO
-// baseline. -shard i/n joins a multi-process sweep over one -store, as
+// baseline. Adding -sampled fast-forwards every core functionally to
+// shared window boundaries and simulates short detailed lockstep
+// windows from a co-scheduled checkpoint set (captured once per
+// workload tuple and persisted in -store); schedulers whose state spans
+// windows (ibda) are rejected with a clear error rather than silently
+// falling back to full detail. -shard i/n joins a multi-process sweep over one -store, as
 // in cmd/experiments. -server delegates the simulations to a crispd job
 // server instead, which dedups them against its shared store across all
 // connected clients.
@@ -148,10 +154,6 @@ func run() int {
 	defer r.Close()
 
 	if *cores != "" {
-		if *sampled {
-			fmt.Fprintln(os.Stderr, "crispsim: -sampled is not supported with -cores (multi-core runs are full-detail only)")
-			return 2
-		}
 		return runMulti(ctx, r, spec, strings.Split(*cores, ","))
 	}
 
@@ -229,8 +231,15 @@ func printBreakdown(res *core.Result) {
 // runMulti executes a co-scheduled multi-core run: names[i] on core i,
 // with the command-line scheduler configuration applied to core 0 and
 // every neighbour on the OOO baseline over the shared LLC and DRAM.
+// With -sampled the lead clause's schedule lifts to the spec level —
+// co-scheduling needs every core at the same window boundaries — and
+// Validate rejects combinations the sampled path cannot honour (IBDA's
+// runtime table marking spans windows) instead of silently running
+// full detail.
 func runMulti(ctx context.Context, r *runner.Runner, lead sim.RunSpec, names []string) int {
 	mspec := sim.MultiSpec{Cores: make([]sim.RunSpec, len(names))}
+	mspec.Sampling = lead.Sampling
+	lead.Sampling = nil
 	for i, n := range names {
 		n = strings.TrimSpace(n)
 		if i == 0 {
@@ -268,6 +277,10 @@ func runMulti(ctx context.Context, r *runner.Runner, lead sim.RunSpec, names []s
 		fmt.Printf(" %.2f", bw.Share(i))
 	}
 	fmt.Println()
+	if m.SampledWindows > 0 {
+		fmt.Printf("sampled: %d co-scheduled windows, %d insts fast-forwarded across cores; host %.0fms detailed + %.0fms capture\n",
+			m.SampledWindows, m.FFInsts, float64(m.HostNS)/1e6, float64(m.HostFFNS)/1e6)
+	}
 	return 0
 }
 

@@ -63,7 +63,7 @@ func main() {
 
 func run() int {
 	var (
-		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles, sampling, colocate")
+		fig        = flag.String("fig", "", "figure to run: 1, 4, 7, 8, 9, 10, 11, 12, 3.1, pf, cycles, sampling, colocate, colocate-sampled")
 		table      = flag.String("table", "", "table to run: 1")
 		all        = flag.Bool("all", false, "run every experiment")
 		insts      = flag.Uint64("insts", 400_000, "instructions simulated per run")
@@ -200,6 +200,7 @@ func run() int {
 		{"cycles", lab.CycleAccounting},
 		{"sampling", lab.SamplingValidation},
 		{"colocate", lab.Colocate},
+		{"colocate-sampled", lab.ColocateSampled},
 	} {
 		if wantFig(f.name) {
 			figures = append(figures, pendingFigure{p: f.build(), start: time.Now()})

@@ -483,6 +483,33 @@ func (c *Cache) CloneState(next Backend) *Cache {
 	return cl
 }
 
+// MarkDirty sets the dirty bit on the resident line holding addr, if
+// any, without touching LRU, statistics or timing. Co-scheduled warming
+// uses it to deliver a store's dirtiness to this level when a higher
+// level absorbed the store itself (see Hierarchy.WarmDataShared).
+func (c *Cache) MarkDirty(addr uint64) {
+	la := c.lineAddr(addr)
+	base := c.set(la) * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == la {
+			ln.dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate drops every resident line and resets the LRU clock,
+// leaving the level as cold as a fresh build (test hook: the sampling
+// equivalence tests cool one level of a warmed checkpoint to prove the
+// tolerance check would catch missing warm-up).
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.lruClock = 0
+}
+
 // Contains reports whether the line holding addr is resident (test hook).
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)

@@ -176,6 +176,29 @@ func (h *Hierarchy) WarmData(addr uint64, write bool) (l1hit bool) {
 	return false
 }
 
+// WarmDataShared warms the data path for a co-scheduled multi-core
+// capture: like WarmData, but a store that hits L1D also dirties the
+// shared LLC's copy of the line. The timed hierarchy delivers that
+// dirtiness when the dirty L1D line is written back on eviction;
+// tags-only warming drops L1 victims silently, so without the
+// propagation the shared LLC a multi-core window restores from holds no
+// dirty lines and the window performs no writebacks — erasing the DRAM
+// write-bus traffic (roughly half of a streaming store neighbour's
+// bandwidth) whose contention co-scheduled capture exists to model. The
+// single-core warming path keeps the historical tags-only behaviour,
+// pinned by the golden figures.
+func (h *Hierarchy) WarmDataShared(addr uint64, write bool) (l1hit bool) {
+	addr += h.base
+	if h.L1D.Warm(addr, write) {
+		if write {
+			h.LLC.MarkDirty(addr)
+		}
+		return true
+	}
+	h.LLC.Warm(addr, write)
+	return false
+}
+
 // WarmPrefetch installs a prefetched line tags-only into L1D (and into
 // the LLC when L1D did not already hold it), mirroring where a demand-
 // level prefetch fill would land. Checkpoint capture uses it so a warmed
@@ -211,6 +234,34 @@ func (h *Hierarchy) Clone() *Hierarchy {
 		cfg: h.cfg,
 		req: -1,
 	}
+}
+
+// CloneState returns a shared hierarchy carrying this one's warmed
+// tag/LRU state — every view's private L1s plus the one shared LLC —
+// over fresh timing state: empty MSHRs, a fresh DRAM, no prefetchers or
+// miss observers, zeroed per-requester statistics. Each detailed
+// multi-core sampling window restores into its own clone, exactly as
+// Hierarchy.Clone serves the single-core windows.
+func (sh *SharedHierarchy) CloneState() *SharedHierarchy {
+	n := len(sh.Views)
+	cfg := sh.Views[0].cfg
+	mem := dram.New(cfg.DRAM)
+	mem.SetRequesters(n)
+	llc := sh.LLC.CloneState(mem)
+	llc.SetRequesters(n)
+	out := &SharedHierarchy{LLC: llc, Mem: mem, Views: make([]*Hierarchy, n)}
+	for i, v := range sh.Views {
+		out.Views[i] = &Hierarchy{
+			L1I:  v.L1I.CloneState(llc),
+			L1D:  v.L1D.CloneState(llc),
+			LLC:  llc,
+			Mem:  mem,
+			cfg:  cfg,
+			req:  i,
+			base: uint64(i) * coreAddrStride,
+		}
+	}
+	return out
 }
 
 // Data services a demand data access for the instruction at pc and returns

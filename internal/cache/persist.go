@@ -97,3 +97,42 @@ func DecodeHierarchy(r *codec.Reader, cfg HierConfig) (*Hierarchy, error) {
 	}
 	return h, nil
 }
+
+// EncodeState serializes the shared hierarchy's warmed state: every
+// view's private L1I/L1D, then the one shared LLC exactly once. The
+// view count and geometry travel out of band with the checkpoint codec.
+func (sh *SharedHierarchy) EncodeState(w *codec.Writer) {
+	w.U32(uint32(len(sh.Views)))
+	for _, v := range sh.Views {
+		v.L1I.EncodeState(w)
+		v.L1D.EncodeState(w)
+	}
+	sh.LLC.EncodeState(w)
+}
+
+// DecodeSharedHierarchy builds a fresh n-core shared hierarchy from cfg
+// and overlays encoded warm state onto every private L1 and the shared
+// LLC. Timing state is fresh, as SharedHierarchy.CloneState hands to a
+// detailed window.
+func DecodeSharedHierarchy(r *codec.Reader, cfg HierConfig, n int) (*SharedHierarchy, error) {
+	got := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if got != n {
+		return nil, fmt.Errorf("cache: shared hierarchy encoded with %d views, want %d", got, n)
+	}
+	sh := NewSharedHierarchy(cfg, n)
+	for _, v := range sh.Views {
+		if err := v.L1I.DecodeState(r); err != nil {
+			return nil, err
+		}
+		if err := v.L1D.DecodeState(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := sh.LLC.DecodeState(r); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}

@@ -143,6 +143,10 @@ type warmer struct {
 	bp       *branch.TAGE
 	btb      *branch.BTB
 	ras      *branch.RAS
+	// shared selects WarmDataShared: the co-scheduled capture propagates
+	// store dirtiness into the shared LLC so restored lockstep windows
+	// reproduce writeback bus traffic (see Hierarchy.WarmDataShared).
+	shared bool
 }
 
 func (w *warmer) WarmInstLine(lineAddr uint64) {
@@ -158,7 +162,12 @@ func (w *warmer) WarmData(pc int, addr uint64, store bool) {
 	}
 	for i := range w.variants {
 		v := &w.variants[i]
-		hit := v.hier.WarmData(addr, store)
+		var hit bool
+		if w.shared {
+			hit = v.hier.WarmDataShared(addr, store)
+		} else {
+			hit = v.hier.WarmData(addr, store)
+		}
 		if v.pf == nil {
 			continue
 		}

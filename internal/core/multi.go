@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 )
@@ -43,9 +44,20 @@ func RunMulti(cores []*Core, cancel func() bool) []*Result {
 
 	live := make([]bool, len(cores))
 	liveCount := 0
+	coOpen := len(cores) >= 2
 	finalize := func(i int) {
 		live[i] = false
 		liveCount--
+		if coOpen {
+			// First core out: snapshot every core's progress at this shared
+			// cycle. Up to here all cores were live, so CoInsts/CoCycles is
+			// each core's drain-free co-located rate (see Result.CoInsts).
+			coOpen = false
+			for _, c := range cores {
+				c.stats.CoInsts = c.stats.Insts
+				c.stats.CoCycles = cores[i].cycle
+			}
+		}
 		cores[i].finishRun(start, startAllocs)
 	}
 	for i, c := range cores {
@@ -111,4 +123,22 @@ func RunMulti(cores []*Core, cancel func() bool) []*Result {
 		results[i] = &c.stats
 	}
 	return results
+}
+
+// RunMultiWindow drives checkpoint-restored cores through one detailed
+// sampling window in lockstep: the same shared clock, arrival-order
+// memory serialization and min-across-cores idle-skip merge as a
+// full-detail RunMulti, applied to cores whose MaxInsts budgets are the
+// window length. A core that retires its budget first drops out of the
+// merge while the neighbours finish theirs — the same drain semantics a
+// full-detail co-run has at each core's own budget. Every core must
+// carry a budget: the suite's kernels never halt, so a window core
+// without one would never finish.
+func RunMultiWindow(cores []*Core, cancel func() bool) []*Result {
+	for i, c := range cores {
+		if c.cfg.MaxInsts == 0 {
+			panic(fmt.Sprintf("core: RunMultiWindow core %d has no instruction budget", i))
+		}
+	}
+	return RunMulti(cores, cancel)
 }

@@ -123,6 +123,16 @@ type Result struct {
 	HostAllocs uint64 // heap allocations observed during Run
 	HostIters  uint64 // cycle-loop iterations executed (skips collapse many cycles into one)
 
+	// Co-phase counters, populated only by RunMulti with ≥2 cores: this
+	// core's retired instructions and the shared-clock cycle at the moment
+	// the FIRST core in the lockstep group finished its budget. Up to that
+	// cycle every core was live, so CoInsts/CoCycles is a drain-free
+	// co-located IPC — the quantity co-scheduled checkpoint calibration
+	// needs, uncontaminated by the solo tail a slower core runs after its
+	// neighbours drop out.
+	CoInsts  uint64 `json:",omitempty"`
+	CoCycles uint64 `json:",omitempty"`
+
 	// Sampled simulation: set only on results aggregated from detailed
 	// windows over checkpointed state. FFInsts/HostFFNS are the size and
 	// host cost of the functional fast-forward that produced the
@@ -193,6 +203,8 @@ func (r *Result) Merge(o *Result) {
 		}
 	}
 	r.UPCWindows = append(r.UPCWindows, o.UPCWindows...)
+	r.CoInsts += o.CoInsts
+	r.CoCycles += o.CoCycles
 	r.SkippedCycles += o.SkippedCycles
 	r.HostNS += o.HostNS
 	r.HostAllocs += o.HostAllocs

@@ -54,6 +54,13 @@ type JobStatus struct {
 	// crisp.Footprint for the pipeline kinds. Status polls include it;
 	// progress events omit it.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Task, set only on progress-stream events, describes dependency-task
+	// activity observed while the job is live: checkpoint-set captures
+	// ("ckpt ... running") that explain why a cold sampled submission sits
+	// in "running" with no visible progress. It annotates the event, never
+	// the job's own state, and the runner does not attribute dependencies
+	// to parents, so the note reaches every live subscriber.
+	Task string `json:"task,omitempty"`
 }
 
 // SweepRequest is the POST /v1/sweeps payload: a batch of specs

@@ -127,12 +127,39 @@ func (s *Server) Runner() *runner.Runner { return s.r }
 
 // onTaskEvent marks a job running when the runner grants its task a
 // worker token. Terminal states are set by the job goroutine instead,
-// which has the result in hand; dependency tasks (analyses, checkpoint
-// captures) have their own keys and only update jobs that were
-// submitted for them directly.
+// which has the result in hand; dependency tasks (analyses) have their
+// own keys and only update jobs that were submitted for them directly.
+//
+// Checkpoint-set captures are the exception: a cold sampled submission
+// spends its first seconds fast-forwarding inside the capture, which
+// looks like a silently stuck "running" job. The runner emits lifecycle
+// events for the capture's own key, but cannot attribute it to the job
+// that triggered it, so capture events are fanned out as Task
+// annotations to every live subscriber — they describe store-level
+// activity, never change any job's state.
 func (s *Server) onTaskEvent(ev runner.TaskEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ev.Kind == runner.KindCkpt || ev.Kind == runner.KindMultiCkpt {
+		note := fmt.Sprintf("%s %s %s", ev.Kind, ev.Key, ev.State)
+		if ev.Err != nil {
+			note += ": " + ev.Err.Error()
+		}
+		for _, j := range s.jobs {
+			if j.state.terminal() || len(j.subs) == 0 {
+				continue
+			}
+			st := j.statusLocked(false)
+			st.Task = note
+			for _, ch := range j.subs {
+				select {
+				case ch <- st:
+				default:
+				}
+			}
+		}
+		return
+	}
 	j := s.jobs[ev.Key]
 	if j == nil || j.state.terminal() {
 		return
@@ -368,6 +395,13 @@ func validateMulti(spec sim.MultiSpec) error {
 	for i, cs := range spec.Cores {
 		if err := runner.ValidateWorkloads([]string{cs.Workload}); err != nil {
 			return fmt.Errorf("core %d: %w", i, err)
+		}
+		// A spec-level sampling schedule bounds every core (the per-core
+		// budget is Sampling.Total(); Validate enforces that clauses then
+		// carry no Insts of their own), so only full-detail specs need a
+		// per-clause budget.
+		if spec.Sampling != nil {
+			continue
 		}
 		if err := checkBounded(cs); err != nil {
 			return fmt.Errorf("core %d: %w", i, err)

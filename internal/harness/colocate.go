@@ -101,3 +101,117 @@ func (l *Lab) Colocate() *Pending {
 type coreCells struct {
 	ipc, batchIPC, dramSlotPct, llcMPKI, batchBWShare, dramLat float64
 }
+
+// ColocateSampled renders the co-location figure through the sampled
+// path: the same four rows as Colocate, but every run fast-forwards
+// under functional warming and simulates short detailed windows — solo
+// rows from single-core checkpoint sets, co-run rows from co-scheduled
+// multi-core sets whose shared LLC was warmed by interleaving both
+// cores' streams. One multi-core capture serves both scheduler rows
+// (tags don't change functional behaviour), so this is the fast way to
+// sweep co-location configs. The attribution self-check still holds
+// per core: merged window breakdowns partition Cycles x CommitWidth
+// exactly, which pins the min-across-cores idle-skip merge inside
+// windows too.
+func (l *Lab) ColocateSampled() *Pending {
+	s := sim.AutoSampling(l.Insts)
+	t := &Table{
+		Title: "Co-location (sampled): tailchase (LC, core 0) + streambatch (batch, core 1), shared LLC/DRAM",
+		Columns: []string{"mix/sched", "lc_ipc", "batch_ipc", "lc_dram_slt%", "lc_llc_mpki",
+			"batch_bw_shr", "lc_dram_lat"},
+	}
+	width := l.Cfg.Core.CommitWidth
+	const lc, batch = "tailchase", "streambatch"
+	opts := crisp.DefaultOptions()
+
+	// sampledClause converts a full-detail spec into a window clause: the
+	// budget moves to the sampling schedule (spec level for multis).
+	sampledClause := func(spec sim.RunSpec) sim.RunSpec {
+		spec.Insts = 0
+		return spec
+	}
+	soloSampled := func(spec sim.RunSpec) sim.RunSpec {
+		spec = sampledClause(spec)
+		spec.Sampling = &s
+		return spec
+	}
+
+	lcCells := func(r *coreCells) []float64 {
+		return []float64{r.ipc, r.batchIPC, r.dramSlotPct, r.llcMPKI, r.batchBWShare, r.dramLat}
+	}
+
+	var multis []*sim.MultiResult
+	soloRow := func(label string, spec sim.RunSpec) rowSource {
+		h := l.R.Submit(spec)
+		return rowSource{label, func(ctx context.Context) ([]float64, error) {
+			r, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := metrics.CheckPartition(&r.Breakdown, r.Cycles, width); err != nil {
+				return nil, err
+			}
+			slots := float64(r.Cycles) * float64(width)
+			return lcCells(&coreCells{
+				ipc:         r.IPC(),
+				dramSlotPct: float64(r.Breakdown.Stalls[metrics.MemDRAM]) / slots * 100,
+				llcMPKI:     r.LLCMPKI(),
+				dramLat:     r.DRAMAvgLat,
+			}), nil
+		}}
+	}
+	coRow := func(label string, spec sim.MultiSpec) rowSource {
+		h := l.R.SubmitMulti(spec)
+		return rowSource{label, func(ctx context.Context) ([]float64, error) {
+			m, err := h.Result(ctx)
+			if err != nil {
+				return nil, err
+			}
+			for i, r := range m.Cores {
+				if err := metrics.CheckPartition(&r.Breakdown, r.Cycles, width); err != nil {
+					return nil, fmt.Errorf("core %d: %w", i, err)
+				}
+			}
+			multis = append(multis, m)
+			lcr, br := m.Cores[0], m.Cores[1]
+			slots := float64(lcr.Cycles) * float64(width)
+			bw := m.DRAMBandwidthShare()
+			return lcCells(&coreCells{
+				ipc:          lcr.IPC(),
+				batchIPC:     br.IPC(),
+				dramSlotPct:  float64(lcr.Breakdown.Stalls[metrics.MemDRAM]) / slots * 100,
+				llcMPKI:      lcr.LLCMPKI(),
+				batchBWShare: bw.Share(1),
+				dramLat:      lcr.DRAMAvgLat,
+			}), nil
+		}}
+	}
+
+	rows := []rowSource{
+		soloRow("lc_solo/ooo", soloSampled(l.refSpec(lc))),
+		soloRow("lc_solo/crisp", soloSampled(l.crispSpec(lc, opts))),
+		coRow("lc+batch/ooo", sim.MultiSpec{Sampling: &s,
+			Cores: []sim.RunSpec{sampledClause(l.refSpec(lc)), sampledClause(l.refSpec(batch))}}),
+		coRow("lc+batch/crisp", sim.MultiSpec{Sampling: &s,
+			Cores: []sim.RunSpec{sampledClause(l.crispSpec(lc, opts)), sampledClause(l.refSpec(batch))}}),
+	}
+	return pending(t, rows, func(t *Table) {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"schedule: %d co-scheduled windows x %d insts detailed per core, %d-inst budget; one multi-core capture serves both scheduler rows",
+			s.Count, s.Window, s.Total()))
+		if l.HostNotes {
+			var detNS, ffNS int64
+			var windows int
+			for _, m := range multis {
+				detNS += m.HostNS
+				ffNS += m.HostFFNS
+				windows = m.SampledWindows
+			}
+			if detNS > 0 {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"host time (co-runs): %.2fs detailed windows + %.2fs capture, %d windows each; the capture amortises across the sweep",
+					float64(detNS)/1e9, float64(ffNS)/1e9, windows))
+			}
+		}
+	})
+}

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"crisp/internal/sim"
 )
 
 // childEnvDir is the env var that turns TestCrossProcessChild from a
@@ -36,12 +38,16 @@ func TestCrossProcessChild(t *testing.T) {
 	for i, spec := range specs {
 		handles[i] = r.Submit(spec)
 	}
+	mh := r.SubmitMulti(multiSweepSpec())
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 	for i, h := range handles {
 		if _, err := h.Result(ctx); err != nil {
 			t.Fatalf("spec %d: %v", i, err)
 		}
+	}
+	if _, err := mh.Result(ctx); err != nil {
+		t.Fatalf("multi spec: %v", err)
 	}
 	b, err := json.Marshal(r.Stats())
 	if err != nil {
@@ -50,12 +56,25 @@ func TestCrossProcessChild(t *testing.T) {
 	fmt.Printf("CHILDSTATS %s\n", b)
 }
 
+// multiSweepSpec is the sampled co-scheduled run each sweep worker adds
+// beyond sweepSpecs: one 2-core tuple under one schedule, so between
+// two processes the multi-capture must run exactly once.
+func multiSweepSpec() sim.MultiSpec {
+	s := sim.Sampling{Warm: 15_000, Window: 5_000, Count: 2}
+	return sim.MultiSpec{Cores: []sim.RunSpec{
+		{Workload: "tailchase"},
+		{Workload: "streambatch"},
+	}, Sampling: &s}
+}
+
 // TestCrossProcessDedup is the acceptance test for cross-process
-// single-flight: two OS processes sweep the same 4-config spec list
-// against one shared store, concurrently. Between them they must
-// fast-forward the checkpoint schedule exactly once and simulate each
-// spec exactly once (the file locks serialize, the store re-checks
-// dedup), and every entry left in the store must decode cleanly.
+// single-flight: two OS processes sweep the same spec list — four
+// sampled single-core configs plus one sampled co-scheduled 2-core
+// tuple — against one shared store, concurrently. Between them they
+// must fast-forward each checkpoint schedule exactly once (one
+// single-core set, one multi-core set) and simulate each spec exactly
+// once (the file locks serialize, the store re-checks dedup), and every
+// entry left in the store must decode cleanly.
 func TestCrossProcessDedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns child processes")
@@ -111,9 +130,9 @@ func TestCrossProcessDedup(t *testing.T) {
 		sum.CkptDiskHits += st.CkptDiskHits
 	}
 
-	specs := int64(len(sweepSpecs()))
-	if sum.CkptCaptured != 1 {
-		t.Errorf("CkptCaptured sum = %d, want 1: the fast-forward ran more than once across processes", sum.CkptCaptured)
+	specs := int64(len(sweepSpecs())) + 1 // + the co-scheduled tuple
+	if sum.CkptCaptured != 2 {
+		t.Errorf("CkptCaptured sum = %d, want 2 (one single-core set, one multi-core set): a fast-forward ran more than once across processes", sum.CkptCaptured)
 	}
 	if sum.Executed != specs {
 		t.Errorf("Executed sum = %d, want %d: some spec simulated twice (or was lost)", sum.Executed, specs)
@@ -143,9 +162,17 @@ func TestCrossProcessDedup(t *testing.T) {
 		case strings.HasSuffix(name, ".tmp"):
 			t.Errorf("temp file %s survived both sweeps", name)
 		case strings.HasSuffix(name, ".bin"):
-			key := strings.TrimSuffix(strings.TrimPrefix(name, kindCkpt+"-"), ".bin")
-			if _, ok := s.GetCheckpoint(key); !ok {
-				t.Errorf("checkpoint entry %s is corrupt", name)
+			// "mckpt-" before "ckpt-": the multi prefix would survive a
+			// single-core trim and decode under the wrong codec.
+			if key, ok := strings.CutPrefix(name, kindMultiCkpt+"-"); ok {
+				if _, ok := s.GetMultiCheckpoint(strings.TrimSuffix(key, ".bin")); !ok {
+					t.Errorf("multi checkpoint entry %s is corrupt", name)
+				}
+			} else {
+				key := strings.TrimSuffix(strings.TrimPrefix(name, kindCkpt+"-"), ".bin")
+				if _, ok := s.GetCheckpoint(key); !ok {
+					t.Errorf("checkpoint entry %s is corrupt", name)
+				}
 			}
 			checked++
 		case strings.HasSuffix(name, ".json"):
@@ -161,7 +188,7 @@ func TestCrossProcessDedup(t *testing.T) {
 			checked++
 		}
 	}
-	if checked < int(specs)+1 { // one result per spec + the checkpoint set
-		t.Errorf("store holds %d entries, want at least %d", checked, specs+1)
+	if checked < int(specs)+2 { // one result per spec + two checkpoint sets
+		t.Errorf("store holds %d entries, want at least %d", checked, specs+2)
 	}
 }

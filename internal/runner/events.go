@@ -33,7 +33,7 @@ func (s TaskState) String() string {
 
 // TaskEvent is one observation of the runner's task lifecycle, delivered
 // to Options.OnEvent. Kind is the task family ("run", "multi",
-// "analysis", "footprint", "ckpt", "trace") and Key the content key
+// "analysis", "footprint", "ckpt", "mckpt", "trace") and Key the content key
 // within it — the same (kind, key) pair the persistent store files are
 // named by, so an observer can correlate events with store entries.
 type TaskEvent struct {

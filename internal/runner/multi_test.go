@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"sync"
 	"testing"
 
 	"crisp/internal/sim"
@@ -54,5 +55,64 @@ func TestRunMultiDedup(t *testing.T) {
 	}
 	if a.DRAM.Reads != c.DRAM.Reads || a.LLC.Misses != c.LLC.Misses {
 		t.Error("shared-level stats did not survive the disk round-trip")
+	}
+}
+
+// TestMultiSampledStoreFastPath: the co-scheduled capture is the
+// expensive prefix a sampled colocate sweep amortizes, so a second
+// process sweeping a different scheduler of the same workload tuple
+// must load the persisted MultiSet instead of re-running the
+// fast-forward — and the capture's own lifecycle must surface as
+// "mckpt" task events so observers can see what a cold run is doing.
+func TestMultiSampledStoreFastPath(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s := sim.Sampling{Warm: 15_000, Window: 5_000, Count: 2}
+	spec := sim.MultiSpec{Cores: []sim.RunSpec{
+		{Workload: "tailchase"},
+		{Workload: "streambatch"},
+	}, Sampling: &s}
+
+	var mu sync.Mutex
+	var kinds []string
+	r1 := newRunner(t, Options{CacheDir: dir, OnEvent: func(ev TaskEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		kinds = append(kinds, ev.Kind+":"+ev.State.String())
+	}})
+	if _, err := r1.RunMulti(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	st := r1.Stats()
+	if st.CkptCaptured != 1 || st.CkptDiskHits != 0 {
+		t.Errorf("first runner: captured %d / disk hits %d, want 1 / 0", st.CkptCaptured, st.CkptDiskHits)
+	}
+	mu.Lock()
+	var sawRunning, sawDone bool
+	for _, k := range kinds {
+		sawRunning = sawRunning || k == "mckpt:running"
+		sawDone = sawDone || k == "mckpt:done"
+	}
+	mu.Unlock()
+	if !sawRunning || !sawDone {
+		t.Errorf("capture lifecycle not observed (events %v)", kinds)
+	}
+
+	// A different core-0 scheduler shares the set (the key hashes the
+	// workload/input/prefetcher tuple, not the scheduler), so a fresh
+	// runner over the same store restores rather than recaptures.
+	other := spec
+	other.Cores = append([]sim.RunSpec(nil), spec.Cores...)
+	other.Cores[0].Sched = sim.SchedRandom
+	r2 := newRunner(t, Options{CacheDir: dir})
+	if _, err := r2.RunMulti(ctx, other); err != nil {
+		t.Fatal(err)
+	}
+	st2 := r2.Stats()
+	if st2.Executed != 1 {
+		t.Errorf("second runner executed %d specs, want 1 (new scheduler config)", st2.Executed)
+	}
+	if st2.CkptCaptured != 0 || st2.CkptDiskHits != 1 {
+		t.Errorf("second runner: captured %d / disk hits %d, want 0 / 1 (store fast path)", st2.CkptCaptured, st2.CkptDiskHits)
 	}
 }

@@ -30,15 +30,19 @@ const (
 	kindAnalysis  = "analysis"
 	kindFootprint = "footprint"
 	kindCkpt      = "ckpt"
+	kindMultiCkpt = "mckpt"
 )
 
 // Exported kind names, for external readers of a shared store (crispd
-// serves already-published entries straight from disk).
+// serves already-published entries straight from disk) and for event
+// consumers matching TaskEvent.Kind.
 const (
 	KindRun       = kindRun
 	KindMulti     = kindMulti
 	KindAnalysis  = kindAnalysis
 	KindFootprint = kindFootprint
+	KindCkpt      = kindCkpt
+	KindMultiCkpt = kindMultiCkpt
 )
 
 // tmpSweepTTL is how old a *.tmp file must be before NewStore removes
@@ -94,7 +98,7 @@ func (s *Store) Enabled() bool { return s.dir != "" }
 
 func (s *Store) path(kind, key string) string {
 	ext := ".json"
-	if kind == kindCkpt {
+	if kind == kindCkpt || kind == kindMultiCkpt {
 		ext = ".bin"
 	}
 	return filepath.Join(s.dir, kind+"-"+key+ext)
@@ -181,6 +185,34 @@ func (s *Store) PutCheckpoint(key string, set *checkpoint.Set) error {
 		return nil
 	}
 	return s.writeAtomic(kindCkpt, key, checkpoint.EncodeSet(set, key))
+}
+
+// GetMultiCheckpoint loads and decodes the co-scheduled multi-core
+// checkpoint set stored under key, with GetCheckpoint's
+// delete-and-recompute discipline for corrupt or mismatched files.
+func (s *Store) GetMultiCheckpoint(key string) (*checkpoint.MultiSet, bool) {
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(kindMultiCkpt, key))
+	if err != nil {
+		return nil, false
+	}
+	set, err := checkpoint.DecodeMultiSet(b, key)
+	if err != nil {
+		os.Remove(s.path(kindMultiCkpt, key)) // delete-and-recompute
+		return nil, false
+	}
+	return set, true
+}
+
+// PutMultiCheckpoint persists a captured multi-core checkpoint set under
+// key with the same atomic, durable discipline as Put.
+func (s *Store) PutMultiCheckpoint(key string, set *checkpoint.MultiSet) error {
+	if s.dir == "" {
+		return nil
+	}
+	return s.writeAtomic(kindMultiCkpt, key, checkpoint.EncodeMultiSet(set, key))
 }
 
 // writeAtomic writes data to (kind, key) via a temp file, fsyncing the

@@ -26,8 +26,18 @@ type MultiResult struct {
 	DRAMPerCore []dram.Stats  `json:"dram_per_core"`
 
 	// HostNS is the wall time of the whole lockstep run (the cores share
-	// one host thread, so per-core host time is not meaningful).
+	// one host thread, so per-core host time is not meaningful). For a
+	// sampled run it sums the windows' lockstep wall times.
 	HostNS int64 `json:"host_ns"`
+
+	// Sampled-run provenance (zero on full-detail runs): how many
+	// detailed lockstep windows the aggregate merges, the functional
+	// instructions executed across all cores to capture them, and the
+	// capture's host wall time (counted once per set, however many
+	// configs share it).
+	SampledWindows int    `json:"sampled_windows,omitempty"`
+	FFInsts        uint64 `json:"ff_insts,omitempty"`
+	HostFFNS       int64  `json:"host_ff_ns,omitempty"`
 }
 
 // LLCOccupancyShare attributes shared-LLC demand activity per core

@@ -27,11 +27,21 @@ const MaxCores = 8
 // single-core ones.
 type MultiSpec struct {
 	Cores []RunSpec `json:"cores"`
+	// Sampling, when non-nil, runs the co-scheduled simulation sampled:
+	// one shared schedule aligns every core's window boundaries, and the
+	// cores restore from one co-scheduled checkpoint set (MultiSet)
+	// instead of executing full detail from cycle 0. The schedule is
+	// spec-level because co-scheduling needs aligned boundaries — per-core
+	// Sampling clauses stay rejected. With Sampling set, every clause's
+	// Insts must be 0 (the per-core budget is Sampling.Total()) and no
+	// clause may use runtime IBDA marking (an IBDA instance spans windows
+	// and needs the sequential full-detail path).
+	Sampling *Sampling `json:"sampling,omitempty"`
 }
 
 // normalize canonicalizes every clause (same collapsing as RunSpec.Key).
 func (m MultiSpec) normalize() MultiSpec {
-	n := MultiSpec{Cores: make([]RunSpec, len(m.Cores))}
+	n := MultiSpec{Cores: make([]RunSpec, len(m.Cores)), Sampling: m.Sampling}
 	for i, c := range m.Cores {
 		n.Cores[i] = c.normalize()
 	}
@@ -50,8 +60,9 @@ func (m MultiSpec) Key() string {
 }
 
 // Validate reports spec-level errors: an empty or oversized core list, an
-// invalid clause, or clause features the multi-core driver does not
-// support (sampled simulation has no multi-core checkpoint story yet).
+// invalid clause, or clause features the requested execution path does
+// not support (per-core sampling clauses; IBDA or per-core budgets under
+// a spec-level sampling schedule).
 func (m MultiSpec) Validate() error {
 	if len(m.Cores) == 0 {
 		return fmt.Errorf("sim: MultiSpec has no cores")
@@ -64,7 +75,21 @@ func (m MultiSpec) Validate() error {
 			return fmt.Errorf("core %d: %w", i, err)
 		}
 		if c.Sampling != nil {
-			return fmt.Errorf("sim: core %d requests sampling; multi-core runs are full-detail only", i)
+			return fmt.Errorf("sim: core %d carries a per-core sampling clause; co-scheduling needs aligned windows — set MultiSpec.Sampling instead", i)
+		}
+		if m.Sampling != nil {
+			if c.Insts != 0 {
+				return fmt.Errorf("sim: core %d has an instruction budget; with MultiSpec.Sampling the per-core budget is Sampling.Total()", i)
+			}
+			if c.IBDA != nil {
+				return fmt.Errorf("sim: core %d uses runtime IBDA marking, which spans windows and needs the sequential full-detail path; sampled multi-core runs do not support it", i)
+			}
+		}
+	}
+	if m.Sampling != nil {
+		if m.Sampling.Window == 0 || m.Sampling.Count <= 0 {
+			return fmt.Errorf("sim: sampling needs Window > 0 and Count > 0 (got window %d, count %d)",
+				m.Sampling.Window, m.Sampling.Count)
 		}
 	}
 	return nil

@@ -15,7 +15,7 @@ import (
 // into every RunSpec key, so persistent result caches are invalidated
 // when a change makes simulations produce different numbers. Bump it
 // whenever timing behaviour changes.
-const CodeVersion = "crisp-sim-4"
+const CodeVersion = "crisp-sim-5"
 
 // Input variants a RunSpec can run (Section 5.1's separate profiling and
 // evaluation inputs).
