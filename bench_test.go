@@ -8,17 +8,21 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
+	"crisp/internal/cache"
 	"crisp/internal/checkpoint"
 	"crisp/internal/core"
 	"crisp/internal/crisp"
 	"crisp/internal/emu"
 	"crisp/internal/harness"
+	"crisp/internal/prefetch"
 	"crisp/internal/program"
 	"crisp/internal/runner"
 	"crisp/internal/sim"
@@ -686,6 +690,142 @@ func BenchmarkHostThroughputMulticoreSampled(b *testing.B) {
 		b.Logf("BENCH_multicore_sampled.json not written: %v", err)
 	}
 	b.Logf("multicore sampled summary: %s", out)
+}
+
+// captureVariants builds a prefetcher-variant map of the requested size,
+// drawn from the same kinds the sim layer registers, so the benchmark's
+// warming cost tracks the real capture path's.
+func captureVariants(n int) map[string]prefetch.Prefetcher {
+	kinds := []struct {
+		name string
+		mk   func() prefetch.Prefetcher
+	}{
+		{"none", func() prefetch.Prefetcher { return nil }},
+		{"stride", func() prefetch.Prefetcher { return prefetch.NewStride(256) }},
+		{"ghb", func() prefetch.Prefetcher { return prefetch.NewGHB(512) }},
+		{"bop", func() prefetch.Prefetcher { return prefetch.NewBOP() }},
+		{"bop+stream", func() prefetch.Prefetcher {
+			return &prefetch.Composite{Parts: []prefetch.Prefetcher{prefetch.NewBOP(), prefetch.NewStream(64)}}
+		}},
+	}
+	m := make(map[string]prefetch.Prefetcher, n)
+	for _, k := range kinds[:n] {
+		m[k.name] = k.mk()
+	}
+	return m
+}
+
+// BenchmarkCheckpointCapture measures cold checkpoint capture sequential
+// vs pipelined: 1, 3 and 5 prefetcher variants on pointerchase, plus a
+// 2-core co-scheduled capture. The sequential leg is workers=1 (the
+// bit-identical reference); the parallel leg requests one goroutine per
+// pipeline task (producer + frontend + each variant), so the speedup
+// reflects the pipeline's shape rather than this host's core count — on
+// a single-core host the parallel leg measures pure overhead, which the
+// emitted BENCH_capture.json records alongside gomaxprocs so readers can
+// tell the two apart. The ISSUE gate (>=2x at >=3 variants) applies on
+// multi-core hosts.
+func BenchmarkCheckpointCapture(b *testing.B) {
+	p := checkpoint.Params{Skip: 10_000, Warm: 200_000, Window: 10_000, Count: 4}
+	secs := map[string]float64{}
+	ctx := context.Background()
+
+	captureOnce := func(b *testing.B, variants, workers int) time.Duration {
+		img := workload.ByName("pointerchase").Build(workload.Ref)
+		em := emu.New(img.Prog, img.Mem)
+		for r, v := range img.Regs {
+			em.SetReg(r, v)
+		}
+		pfs := captureVariants(variants)
+		start := time.Now()
+		if _, err := checkpoint.CaptureContext(ctx, img.Prog, em,
+			cache.DefaultHierConfig(), 128, 4, 16, pfs, p, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	for _, variants := range []int{1, 3, 5} {
+		for _, mode := range []string{"seq", "par"} {
+			workers := 1
+			if mode == "par" {
+				workers = variants + 2 // producer + frontend + each variant
+			}
+			b.Run(fmt.Sprintf("%dvariants/%s", variants, mode), func(b *testing.B) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					total += captureOnce(b, variants, workers)
+				}
+				avg := total.Seconds() / float64(b.N)
+				b.ReportMetric(avg, "capture_s")
+				secs[fmt.Sprintf("%dvariants_%s", variants, mode)] = avg
+			})
+		}
+	}
+
+	multiOnce := func(b *testing.B, workers int) time.Duration {
+		imgs := []*sim.Image{
+			workload.ByName("tailchase").Build(workload.Ref),
+			workload.ByName("streambatch").Build(workload.Ref),
+		}
+		progs := make([]*program.Program, len(imgs))
+		ems := make([]*emu.Emulator, len(imgs))
+		for i, img := range imgs {
+			progs[i] = img.Prog
+			ems[i] = emu.New(img.Prog, img.Mem)
+			for r, v := range img.Regs {
+				ems[i].SetReg(r, v)
+			}
+		}
+		pfs := []prefetch.Prefetcher{prefetch.NewBOP(), nil}
+		start := time.Now()
+		if _, err := checkpoint.CaptureMultiContext(ctx, progs, ems,
+			cache.DefaultHierConfig(), 128, 4, 16, pfs, p,
+			[]float64{1.0, 1.0}, workers); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	for _, mode := range []string{"seq", "par"} {
+		workers := 1
+		if mode == "par" {
+			workers = 3 // producer + the single ordered multi-core consumer, with slack
+		}
+		b.Run("multicore2/"+mode, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				total += multiOnce(b, workers)
+			}
+			avg := total.Seconds() / float64(b.N)
+			b.ReportMetric(avg, "capture_s")
+			secs["multicore2_"+mode] = avg
+		})
+	}
+
+	if len(secs) < 8 {
+		return // a -bench filter skipped a leg; nothing to summarize
+	}
+	summary := map[string]any{
+		"workload":     "pointerchase",
+		"warm_insts":   p.Total(),
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"multicore":    []string{"tailchase", "streambatch"},
+		"speedup_1v_x": secs["1variants_seq"] / secs["1variants_par"],
+		"speedup_3v_x": secs["3variants_seq"] / secs["3variants_par"],
+		"speedup_5v_x": secs["5variants_seq"] / secs["5variants_par"],
+		"speedup_mc_x": secs["multicore2_seq"] / secs["multicore2_par"],
+	}
+	for k, v := range secs {
+		summary[k+"_s"] = v
+	}
+	out, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_capture.json", append(out, '\n'), 0o644); err != nil {
+		b.Logf("BENCH_capture.json not written: %v", err)
+	}
+	b.Logf("capture summary: %s", out)
 }
 
 // BenchmarkExtension_DivSlices exercises the Section 6.1 extension:

@@ -72,6 +72,8 @@ func run() int {
 		sampled    = flag.Bool("sampled", false, "sample: fast-forward with functional warming, simulate short detailed windows (schedule from -insts)")
 		windows    = flag.Int("windows", 0, "with -sampled: detailed window count (0 = auto)")
 		window     = flag.Uint64("window", 0, "with -sampled: instructions per detailed window (0 = auto)")
+		capWorkers = flag.Int("capture-workers", 0, "goroutines per checkpoint capture, producer included (0 = GOMAXPROCS, 1 = sequential; results are bit-identical)")
+		winWorkers = flag.Int("window-workers", 0, "concurrent detailed windows per sampled run (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -143,6 +145,7 @@ func run() int {
 	defer stop()
 	r, err := runner.New(ctx, runner.Options{
 		Workers: 1, CacheDir: dir,
+		CaptureWorkers: *capWorkers, WindowWorkers: *winWorkers,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
 		ShardIndex: shardIndex, ShardCount: shardCount,
 		Remote: remote,

@@ -70,6 +70,8 @@ func run() int {
 		only       = flag.String("only", "", "comma-separated workload subset")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jobs       = flag.Int("j", runtime.NumCPU(), "max concurrent simulations")
+		capWorkers = flag.Int("capture-workers", 0, "goroutines per checkpoint capture, producer included (0 = GOMAXPROCS, 1 = sequential; results are bit-identical)")
+		winWorkers = flag.Int("window-workers", 0, "concurrent detailed windows per sampled run (0 = GOMAXPROCS, 1 = sequential)")
 		storeDir   = flag.String("store", "", "persist results and checkpoint sets in this directory, shared safely between processes")
 		cacheDir   = flag.String("cache", "", "alias for -store (older name)")
 		shard      = flag.String("shard", "", "run as shard i/n of a multi-process sweep over one -store (e.g. 0/2)")
@@ -160,6 +162,7 @@ func run() int {
 
 	r, err := runner.New(ctx, runner.Options{
 		Workers: *jobs, CacheDir: dir,
+		CaptureWorkers: *capWorkers, WindowWorkers: *winWorkers,
 		MetricsJSONL: *metricsOut, MetricsCSV: *metricsCSV,
 		ShardIndex: shardIndex, ShardCount: shardCount,
 		Remote: remote,

@@ -14,6 +14,7 @@
 package checkpoint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -118,7 +119,12 @@ type Set struct {
 	Hier   cache.HierConfig // geometry the caches were warmed with
 
 	FFInsts uint64 // total instructions executed functionally by the capture
-	HostNS  int64  // host wall time of the capture (fast-forward + snapshots)
+	// WarmInsts counts the instructions streamed through the warmer (warm
+	// and window phases; the skip phases execute unobserved). It is
+	// in-process capture observability, not restore state, so the codec
+	// does not persist it: sets decoded from the store report zero.
+	WarmInsts uint64
+	HostNS    int64 // host wall time of the capture (fast-forward + snapshots)
 }
 
 // liveVariant is one prefetcher kind's warming state during capture.
@@ -156,24 +162,34 @@ func (w *warmer) WarmInstLine(lineAddr uint64) {
 }
 
 func (w *warmer) WarmData(pc int, addr uint64, store bool) {
+	for i := range w.variants {
+		warmOne(&w.variants[i], w.shared, pc, addr, store)
+	}
+}
+
+// warmOne drives a single variant with one data access: a tags-only
+// demand touch of its hierarchy, the prefetcher trained with the same
+// (pc, addr, hit) triple the detailed L1D would deliver, and the
+// suggested lines installed tags-only. The hit flag comes from the
+// variant's own hierarchy, so replaying one recorded access stream
+// independently per variant reproduces the sequential fan-out exactly —
+// this is what the parallel capture pipeline relies on.
+func warmOne(v *liveVariant, shared bool, pc int, addr uint64, store bool) {
+	var hit bool
+	if shared {
+		hit = v.hier.WarmDataShared(addr, store)
+	} else {
+		hit = v.hier.WarmData(addr, store)
+	}
+	if v.pf == nil {
+		return
+	}
 	pcv := uint64(pc)
 	if store {
 		pcv = cache.NoPC // stores reach the prefetcher unattributed
 	}
-	for i := range w.variants {
-		v := &w.variants[i]
-		var hit bool
-		if w.shared {
-			hit = v.hier.WarmDataShared(addr, store)
-		} else {
-			hit = v.hier.WarmData(addr, store)
-		}
-		if v.pf == nil {
-			continue
-		}
-		for _, t := range v.pf.OnAccess(pcv, addr, hit) {
-			v.hier.WarmPrefetch(t)
-		}
+	for _, t := range v.pf.OnAccess(pcv, addr, hit) {
+		v.hier.WarmPrefetch(t)
 	}
 }
 
@@ -219,7 +235,41 @@ func (w *warmer) snapshot() map[string]*Variant {
 // kind (nil for a kind that runs without one), each warmed against its
 // own cache hierarchy (the instances are trained in place).
 func Capture(prog *program.Program, em *emu.Emulator, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs map[string]prefetch.Prefetcher, p Params) *Set {
+	set, _ := CaptureContext(context.Background(), prog, em, hcfg, btbEntries, btbWays, rasEntries, pfs, p, 0)
+	return set
+}
+
+// CaptureContext is Capture with cancellation and an explicit
+// parallelism bound. workers counts the goroutines the capture may use
+// in total, producer included: 1 forces the sequential reference path, 2
+// or more selects the batched producer/consumer pipeline (see
+// pipeline.go) with up to workers-1 warming consumers, and <= 0 defaults
+// to GOMAXPROCS. Both paths produce bit-identical Sets — the pipeline
+// replays the recorded warm stream in order per structure — so the
+// choice affects only host wall time. On cancellation it returns
+// (nil, ctx.Err()) and the partial capture is discarded.
+func CaptureContext(ctx context.Context, prog *program.Program, em *emu.Emulator, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs map[string]prefetch.Prefetcher, p Params, workers int) (*Set, error) {
 	start := time.Now()
+	w := newCaptureWarmer(prog, hcfg, btbEntries, btbWays, rasEntries, pfs)
+	set := &Set{Hier: hcfg}
+	// The frontend replay is one task alongside the per-variant ones.
+	if consumers := captureConsumers(workers, len(w.variants)+1); consumers > 0 {
+		capturePipelined(ctx, em, w, p, set, consumers)
+	} else {
+		captureSequential(ctx, em, w, p, set)
+	}
+	set.HostNS = time.Since(start).Nanoseconds()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// newCaptureWarmer assembles the warming state for one capture pass:
+// the prefetcher-independent frontend structures plus one cache
+// hierarchy per prefetcher kind, sorted by name so capture order (and
+// hence any warming that iterated variants) is deterministic.
+func newCaptureWarmer(prog *program.Program, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs map[string]prefetch.Prefetcher) *warmer {
 	w := &warmer{
 		prog: prog,
 		bp:   branch.NewTAGE(branch.DefaultTAGELogBase, branch.DefaultTAGELogTagged),
@@ -230,28 +280,47 @@ func Capture(prog *program.Program, em *emu.Emulator, hcfg cache.HierConfig, btb
 		w.variants = append(w.variants, liveVariant{name: name, hier: cache.NewHierarchy(hcfg), pf: pf})
 	}
 	sort.Slice(w.variants, func(i, j int) bool { return w.variants[i].name < w.variants[j].name })
-	set := &Set{Hier: hcfg}
+	return w
+}
+
+// snapshotPoint clones the warmer's state into one restorable Point at
+// the emulator's current position.
+func snapshotPoint(em *emu.Emulator, w *warmer, ffInsts uint64) *Point {
+	return &Point{
+		PC:       em.PC(),
+		Regs:     em.Regs(),
+		Mem:      em.Mem().Snapshot(),
+		Variants: w.snapshot(),
+		BP:       w.bp.Clone(),
+		BTB:      w.btb.Clone(),
+		RAS:      w.ras.Clone(),
+		FFInsts:  ffInsts,
+	}
+}
+
+// captureSequential is the reference capture loop: one goroutine, the
+// warm stream delivered live through the Warmer interface. The phase
+// FastForward calls are deliberately not chunked — the per-call
+// code-line dedup reset is part of the captured byte layout — so
+// cancellation is observed at phase boundaries.
+func captureSequential(ctx context.Context, em *emu.Emulator, w *warmer, p Params, set *Set) {
 	for i := 0; i < p.Count; i++ {
 		set.FFInsts += em.FastForward(p.Skip, nil)
-		set.FFInsts += em.FastForward(p.Warm, w)
-		if em.Done() {
-			break
+		n := em.FastForward(p.Warm, w)
+		set.FFInsts += n
+		set.WarmInsts += n
+		if ctx.Err() != nil || em.Done() {
+			return
 		}
-		set.Points = append(set.Points, &Point{
-			PC:       em.PC(),
-			Regs:     em.Regs(),
-			Mem:      em.Mem().Snapshot(),
-			Variants: w.snapshot(),
-			BP:       w.bp.Clone(),
-			BTB:      w.btb.Clone(),
-			RAS:      w.ras.Clone(),
-			FFInsts:  set.FFInsts,
-		})
+		set.Points = append(set.Points, snapshotPoint(em, w, set.FFInsts))
 		// Execute the window region functionally too (with warming): the
 		// detailed run covers it from the restored state, and the next
 		// checkpoint's state must include it.
-		set.FFInsts += em.FastForward(p.Window, w)
+		n = em.FastForward(p.Window, w)
+		set.FFInsts += n
+		set.WarmInsts += n
+		if ctx.Err() != nil {
+			return
+		}
 	}
-	set.HostNS = time.Since(start).Nanoseconds()
-	return set
 }

@@ -7,7 +7,9 @@ import (
 	"crisp/internal/cache"
 	"crisp/internal/codec"
 	"crisp/internal/emu"
+	"crisp/internal/isa"
 	"crisp/internal/prefetch"
+	"crisp/internal/program"
 )
 
 // codecCapture captures a set whose memory spans many pages, most of
@@ -114,6 +116,75 @@ func TestCodecPageDedup(t *testing.T) {
 	}
 	if dictPages >= sumPages {
 		t.Errorf("dict holds %d pages for %d summed across points: shared pages not interned", dictPages, sumPages)
+	}
+}
+
+// TestCodecSingleVariant pins the codec's lower bound on variant count:
+// a set warmed for exactly one prefetcher kind (a minimal capture, no
+// cross-kind sharing) must round-trip byte-identically and restore.
+func TestCodecSingleVariant(t *testing.T) {
+	prog := chaseProgram(t)
+	mem := emu.NewMemory()
+	for i := int64(0); i < 64; i++ {
+		mem.WriteWord(uint64(0x4000+8*i), i)
+	}
+	set := Capture(prog, emu.New(prog, mem), cache.DefaultHierConfig(), 128, 4, 16,
+		map[string]prefetch.Prefetcher{"stride": prefetch.NewStride(256)},
+		Params{Warm: 2000, Window: 500, Count: 2})
+	const key = "single-variant-key"
+	enc := EncodeSet(set, key)
+	dec, err := DecodeSet(enc, key)
+	if err != nil {
+		t.Fatalf("DecodeSet: %v", err)
+	}
+	if !bytes.Equal(enc, EncodeSet(dec, key)) {
+		t.Fatal("single-variant set did not round-trip byte-identically")
+	}
+	if _, err := dec.Points[0].Restore(prog, "stride"); err != nil {
+		t.Fatalf("Restore on decoded single-variant point: %v", err)
+	}
+	if _, err := dec.Points[0].Restore(prog, "ghb"); err == nil {
+		t.Error("restoring a kind the single-variant set never warmed must fail")
+	}
+}
+
+// TestCodecZeroPageMemory pins the other lower bound: a register-only
+// program touches no data memory, so every snapshot's page table is
+// empty and the page dict holds zero pages — a shape the length-prefixed
+// page encoding must represent, not a corrupt header.
+func TestCodecZeroPageMemory(t *testing.T) {
+	b := program.NewBuilder("regonly")
+	b.MovI(isa.R(1), 0)
+	b.Label("loop")
+	b.AddI(isa.R(1), isa.R(1), 1)
+	b.Jmp("loop")
+	prog := b.MustBuild()
+	set := Capture(prog, emu.New(prog, emu.NewMemory()), cache.DefaultHierConfig(), 128, 4, 16,
+		map[string]prefetch.Prefetcher{"none": nil},
+		Params{Warm: 1000, Window: 200, Count: 2})
+	if len(set.Points) == 0 {
+		t.Fatal("no points captured")
+	}
+	for i, pt := range set.Points {
+		if pt.Mem.Pages() != 0 {
+			t.Fatalf("point %d snapshot holds %d pages, want 0", i, pt.Mem.Pages())
+		}
+	}
+	const key = "zero-page-key"
+	enc := EncodeSet(set, key)
+	dec, err := DecodeSet(enc, key)
+	if err != nil {
+		t.Fatalf("DecodeSet: %v", err)
+	}
+	if !bytes.Equal(enc, EncodeSet(dec, key)) {
+		t.Fatal("zero-page set did not round-trip byte-identically")
+	}
+	st, err := dec.Points[0].Restore(prog, "none")
+	if err != nil {
+		t.Fatalf("Restore on decoded zero-page point: %v", err)
+	}
+	if pc := st.Em.PC(); pc != set.Points[0].PC {
+		t.Errorf("restored PC = %d, want %d", pc, set.Points[0].PC)
 	}
 }
 

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -143,7 +144,11 @@ type MultiSet struct {
 
 	FFInsts   uint64   // functional instructions summed across cores
 	FFPerCore []uint64 // per-core functional instruction totals
-	HostNS    int64    // host wall time of the capture
+	// WarmInsts counts instructions streamed through the warmers across
+	// all cores (warm + window phases). Like Set.WarmInsts it is
+	// in-process observability and is not persisted by the codec.
+	WarmInsts uint64
+	HostNS    int64 // host wall time of the capture
 }
 
 // scalePace returns insts scaled by the core's pace, floored at 1.
@@ -166,6 +171,19 @@ func scalePace(insts uint64, pace float64) uint64 {
 // pace holds each core's relative co-run speed (nil = all 1.0; see
 // MultiSet.Pace); entries are clamped to [minPace, 1].
 func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs []prefetch.Prefetcher, p Params, pace []float64) *MultiSet {
+	set, _ := CaptureMultiContext(context.Background(), progs, ems, hcfg, btbEntries, btbWays, rasEntries, pfs, p, pace, 0)
+	return set
+}
+
+// CaptureMultiContext is CaptureMulti with cancellation and an explicit
+// parallelism bound (same worker semantics as CaptureContext). The
+// shared LLC couples every core's warming, so the multi-core pipeline
+// parallelizes along the time axis only: the producer records the
+// pace-scaled interleave into batches while a single consumer replays
+// them in exact recorded order — per-chunk code-line dedup, per-core
+// warmer dispatch and store-dirtiness propagation all preserved — which
+// keeps the captured MultiSet bit-identical to the sequential path's.
+func CaptureMultiContext(ctx context.Context, progs []*program.Program, ems []*emu.Emulator, hcfg cache.HierConfig, btbEntries, btbWays, rasEntries int, pfs []prefetch.Prefetcher, p Params, pace []float64, workers int) (*MultiSet, error) {
 	start := time.Now()
 	n := len(ems)
 	pc := make([]float64, n)
@@ -199,6 +217,15 @@ func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.Hier
 		set.WindowInsts[i] = scalePace(p.Window, pc[i])
 	}
 
+	// Time-axis pipeline only: one consumer replays the recorded
+	// interleave in order against the shared hierarchy while the
+	// producer fast-forwards ahead (see CaptureMultiContext).
+	var pl *pipeline
+	if captureConsumers(workers, 1) > 0 {
+		pl = newPipeline(ctx, []replayTask{replayMulti(ws)}, 1)
+		defer pl.close()
+	}
+
 	// advance moves every live core forward by its pace-scaled share of
 	// insts instructions, in pace-scaled round-robin chunks when warming
 	// (unwarmed skip phases cannot interact, so chunking would only cost
@@ -217,6 +244,9 @@ func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.Hier
 			}
 		}
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			advanced := false
 			for i, em := range ems {
 				if remaining[i] == 0 || em.Done() {
@@ -226,11 +256,17 @@ func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.Hier
 				if step > remaining[i] {
 					step = remaining[i]
 				}
-				var w emu.Warmer
-				if warm {
-					w = ws[i]
+				var done uint64
+				switch {
+				case !warm:
+					done = em.FastForward(step, nil)
+				case pl != nil:
+					done = pl.recordChunk(em, uint8(i), step)
+					set.WarmInsts += done
+				default:
+					done = em.FastForward(step, ws[i])
+					set.WarmInsts += done
 				}
-				done := em.FastForward(step, w)
 				set.FFInsts += done
 				set.FFPerCore[i] += done
 				remaining[i] -= step
@@ -247,6 +283,12 @@ func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.Hier
 	for k := 0; k < p.Count; k++ {
 		advance(p.Skip, false)
 		advance(p.Warm, true)
+		if pl != nil {
+			pl.barrier()
+		}
+		if ctx.Err() != nil {
+			break
+		}
 		anyDone := false
 		for _, em := range ems {
 			if em.Done() {
@@ -278,6 +320,34 @@ func CaptureMulti(progs []*program.Program, ems []*emu.Emulator, hcfg cache.Hier
 		// next checkpoint's shared-LLC content must include it.
 		advance(p.Window, true)
 	}
+	if pl != nil {
+		pl.barrier()
+	}
 	set.HostNS = time.Since(start).Nanoseconds()
-	return set
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// replayMulti returns the single ordered task replaying an interleaved
+// multi-core batch: every event dispatches to its producing core's
+// warmer, so the shared LLC observes the exact access interleave the
+// sequential capture would have generated (including store-dirtiness
+// propagation through WarmDataShared).
+func replayMulti(ws []*warmer) replayTask {
+	return func(evs []emu.BatchEv) {
+		for i := range evs {
+			ev := &evs[i]
+			w := ws[ev.Core]
+			switch ev.Kind {
+			case emu.EvInstLine:
+				w.variants[0].hier.WarmInst(ev.Addr)
+			case emu.EvData:
+				warmOne(&w.variants[0], w.shared, int(ev.PC), ev.Addr, ev.Flag)
+			case emu.EvBranch:
+				w.WarmBranch(int(ev.PC), &w.prog.Insts[ev.PC], ev.Flag, int(ev.NextPC))
+			}
+		}
+	}
 }

@@ -1,0 +1,300 @@
+package checkpoint
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crisp/internal/emu"
+)
+
+// Batched producer/consumer capture pipeline.
+//
+// Warming is the capture bottleneck: the functional fast-forward drops
+// from ~90 MIPS bare to 10-18 MIPS while streaming into the warmer, and
+// the sequential path fans every data access across every
+// prefetcher-variant hierarchy in turn, so cost scales with the variant
+// count. The pipeline splits the work along its two independence axes:
+//
+//   - Time: the producer (the capturing goroutine, which owns the
+//     emulator) records the warm stream into fixed-size pooled event
+//     batches (emu.FastForwardBatch — no per-event allocation) and keeps
+//     fast-forwarding the next batch while consumers replay the current
+//     one. Skip phases and snapshots overlap with outstanding replay the
+//     same way.
+//
+//   - Structure: each warming structure — the prefetcher-independent
+//     frontend (TAGE/BTB/RAS) and each variant's hierarchy+prefetcher —
+//     depends only on the recorded stream and its own prior state, never
+//     on a sibling variant. So each one can be replayed on its own
+//     consumer goroutine from the shared read-only batch. Every structure
+//     still observes the exact event sequence the sequential path would
+//     have delivered, which is why parallel capture is bit-identical to
+//     sequential capture (TestCaptureParallelEquivalence asserts this).
+//
+// The multi-core capture uses the time axis only: its variants share one
+// LLC, so a single consumer replays the recorded interleave in order
+// (see multi.go), preserving store-dirtiness propagation and the
+// content-keyed determinism of co-scheduled sets.
+//
+// Synchronization protocol: a published batch carries a consumer
+// refcount; the last consumer to finish recycles it into the pool. The
+// producer tracks outstanding replays in a WaitGroup and waits on it
+// before every snapshot, so snapshots read quiescent warming state with
+// a happens-before edge from each consumer's replay.
+
+// batchInsts is the producer granularity: instructions fast-forwarded
+// per published batch. Large enough that channel and refcount overhead
+// amortizes to noise (~a few thousand events per batch), small enough
+// that the pipeline stays full and cancellation is responsive.
+const batchInsts = 8192
+
+// batchEvents flushes the multi-core capture's accumulating batch once
+// it holds this many interleaved events (its chunks are pace-scaled and
+// can be much smaller than batchInsts).
+const batchEvents = 16384
+
+// testDropBatch, when set to publishIndex+1, makes the pipeline silently
+// drop that batch instead of replaying it — a deliberate fault injection
+// hook proving the equivalence test actually detects divergence. Zero
+// (the default) disables it. Set via SetDropBatch in export_test.go.
+var testDropBatch atomic.Int64
+
+// replayTask replays one warming structure's share of a batch's events.
+type replayTask func(evs []emu.BatchEv)
+
+// pbatch is a pooled batch plus its consumer refcount.
+type pbatch struct {
+	emu.Batch
+	refs atomic.Int32
+}
+
+// pipeline carries the capture's producer/consumer machinery.
+type pipeline struct {
+	ctx       context.Context
+	pool      chan *pbatch
+	chans     []chan *pbatch
+	inflight  sync.WaitGroup // published batches not yet fully replayed
+	consumers sync.WaitGroup // consumer goroutines
+	published int64          // batches published so far (fault-injection index)
+	cur       *pbatch        // batch being recorded, not yet published
+}
+
+// captureConsumers maps a requested total worker count (producer
+// included; <= 0 means GOMAXPROCS) to the number of warming consumers,
+// bounded by the task count. Zero means: run sequentially.
+func captureConsumers(workers, tasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := workers - 1 // the capturing goroutine is the producer
+	if n > tasks {
+		n = tasks
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// newPipeline starts consumers goroutines with the tasks distributed
+// round-robin among them and returns the ready pipeline. The pool holds
+// consumers+2 batches: one being recorded, one in flight per consumer
+// imbalance, so the producer only blocks when replay genuinely lags.
+func newPipeline(ctx context.Context, tasks []replayTask, consumers int) *pipeline {
+	if consumers > len(tasks) {
+		consumers = len(tasks)
+	}
+	depth := consumers + 2
+	pl := &pipeline{
+		ctx:   ctx,
+		pool:  make(chan *pbatch, depth),
+		chans: make([]chan *pbatch, consumers),
+	}
+	for i := 0; i < depth; i++ {
+		pl.pool <- &pbatch{Batch: emu.Batch{Ev: make([]emu.BatchEv, 0, 2*batchInsts)}}
+	}
+	shards := make([][]replayTask, consumers)
+	for i, t := range tasks {
+		shards[i%consumers] = append(shards[i%consumers], t)
+	}
+	for i := range pl.chans {
+		ch := make(chan *pbatch, depth)
+		pl.chans[i] = ch
+		pl.consumers.Add(1)
+		go pl.consume(ch, shards[i])
+	}
+	return pl
+}
+
+func (pl *pipeline) consume(ch chan *pbatch, tasks []replayTask) {
+	defer pl.consumers.Done()
+	for b := range ch {
+		for _, t := range tasks {
+			t(b.Ev)
+		}
+		pl.inflight.Done()
+		if b.refs.Add(-1) == 0 {
+			b.Reset()
+			pl.pool <- b
+		}
+	}
+}
+
+// batch returns the batch currently being recorded, taking a fresh one
+// from the pool if none is open (blocking until replay recycles one).
+func (pl *pipeline) batch() *pbatch {
+	if pl.cur == nil {
+		pl.cur = <-pl.pool
+	}
+	return pl.cur
+}
+
+// flush publishes the open batch to every consumer. Empty batches (and
+// the fault-injection victim) recycle straight back to the pool.
+func (pl *pipeline) flush() {
+	b := pl.cur
+	if b == nil {
+		return
+	}
+	pl.cur = nil
+	idx := pl.published
+	pl.published++
+	if len(b.Ev) == 0 || testDropBatch.Load() == idx+1 {
+		b.Reset()
+		pl.pool <- b
+		return
+	}
+	b.refs.Store(int32(len(pl.chans)))
+	pl.inflight.Add(len(pl.chans))
+	for _, ch := range pl.chans {
+		ch <- b
+	}
+}
+
+// barrier publishes any open batch and blocks until every published
+// batch has been fully replayed. After it returns the warming state is
+// quiescent and memory-synchronized with the producer, so snapshots may
+// read it directly.
+func (pl *pipeline) barrier() {
+	pl.flush()
+	pl.inflight.Wait()
+}
+
+// close drains and joins the consumers. An open unpublished batch (only
+// possible on a cancelled capture) is discarded.
+func (pl *pipeline) close() {
+	pl.cur = nil
+	for _, ch := range pl.chans {
+		close(ch)
+	}
+	pl.consumers.Wait()
+}
+
+// ffRecord fast-forwards up to limit instructions on em, recording the
+// warm stream into pooled batches and publishing each one as it fills.
+// The code-line dedup state threads across batches so the recorded
+// stream is exactly what one sequential FastForward(limit, w) call would
+// have delivered. Returns the instructions executed (short on Halt or
+// cancellation).
+func (pl *pipeline) ffRecord(em *emu.Emulator, limit uint64) uint64 {
+	var n uint64
+	lastLine := ^uint64(0)
+	for n < limit {
+		if pl.ctx.Err() != nil {
+			return n
+		}
+		b := pl.batch()
+		step := limit - n
+		if step > batchInsts {
+			step = batchInsts
+		}
+		done, ll := em.FastForwardBatch(step, &b.Batch, 0, lastLine)
+		lastLine = ll
+		n += done
+		pl.flush()
+		if done < step {
+			return n // program halted
+		}
+	}
+	return n
+}
+
+// recordChunk records one core's pace-scaled interleave chunk into the
+// accumulating multi-core batch, flushing when it fills. Each chunk
+// starts with fresh code-line dedup state, matching the sequential
+// path's one-FastForward-call-per-chunk structure.
+func (pl *pipeline) recordChunk(em *emu.Emulator, core uint8, step uint64) uint64 {
+	b := pl.batch()
+	done, _ := em.FastForwardBatch(step, &b.Batch, core, ^uint64(0))
+	if len(b.Ev) >= batchEvents {
+		pl.flush()
+	}
+	return done
+}
+
+// replayFrontend returns the task replaying branch events into the
+// prefetcher-independent frontend structures (TAGE, BTB, RAS).
+func replayFrontend(w *warmer) replayTask {
+	return func(evs []emu.BatchEv) {
+		for i := range evs {
+			ev := &evs[i]
+			if ev.Kind != emu.EvBranch {
+				continue
+			}
+			w.WarmBranch(int(ev.PC), &w.prog.Insts[ev.PC], ev.Flag, int(ev.NextPC))
+		}
+	}
+}
+
+// replayVariant returns the task replaying code-line and data events
+// into one variant's hierarchy and prefetcher. The hit flag feeding
+// prefetcher training comes from the variant's own hierarchy at replay
+// time, exactly as in the sequential fan-out.
+func replayVariant(v *liveVariant, shared bool) replayTask {
+	return func(evs []emu.BatchEv) {
+		for i := range evs {
+			ev := &evs[i]
+			switch ev.Kind {
+			case emu.EvInstLine:
+				v.hier.WarmInst(ev.Addr)
+			case emu.EvData:
+				warmOne(v, shared, int(ev.PC), ev.Addr, ev.Flag)
+			}
+		}
+	}
+}
+
+// capturePipelined is the parallel capture loop: the calling goroutine
+// produces recorded batches while the frontend and each variant replay
+// on consumer goroutines. Bit-identical to captureSequential by
+// construction — every structure sees the same event sequence — and
+// ~2-4x faster cold with >= 3 variants because variant warming, the
+// dominant cost, runs width-parallel while the next region fast-forwards.
+func capturePipelined(ctx context.Context, em *emu.Emulator, w *warmer, p Params, set *Set, consumers int) {
+	tasks := make([]replayTask, 0, len(w.variants)+1)
+	tasks = append(tasks, replayFrontend(w))
+	for i := range w.variants {
+		tasks = append(tasks, replayVariant(&w.variants[i], w.shared))
+	}
+	pl := newPipeline(ctx, tasks, consumers)
+	defer pl.close()
+	for i := 0; i < p.Count; i++ {
+		// The skip fast-forward overlaps with any still-outstanding
+		// window replay from the previous iteration.
+		set.FFInsts += em.FastForward(p.Skip, nil)
+		n := pl.ffRecord(em, p.Warm)
+		set.FFInsts += n
+		set.WarmInsts += n
+		pl.barrier()
+		if ctx.Err() != nil || em.Done() {
+			return
+		}
+		set.Points = append(set.Points, snapshotPoint(em, w, set.FFInsts))
+		n = pl.ffRecord(em, p.Window)
+		set.FFInsts += n
+		set.WarmInsts += n
+	}
+	pl.barrier()
+}

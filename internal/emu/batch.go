@@ -1,0 +1,112 @@
+package emu
+
+import (
+	"crisp/internal/isa"
+	"crisp/internal/program"
+)
+
+// Batched warm-stream recording: FastForwardBatch is FastForward with the
+// Warmer callbacks replaced by an append-only event log, so the functional
+// fast-forward of one region can overlap with the (possibly parallel)
+// warming replay of the previous one. A Batch preserves the exact event
+// order FastForward would have delivered; replaying it through a Warmer
+// produces bit-identical warmed state, which is what lets checkpoint
+// capture fan the replay out across per-variant goroutines without
+// changing any captured byte.
+
+// EvKind tags one recorded warm-stream event.
+type EvKind uint8
+
+// Warm-stream event kinds, in the order FastForward emits them.
+const (
+	// EvInstLine is a 64B code-line change; Addr is the line address.
+	EvInstLine EvKind = iota
+	// EvData is a load or store; PC is the program index, Addr the
+	// effective address, Flag the store bit.
+	EvData
+	// EvBranch is a control-flow instruction; PC is the program index,
+	// NextPC the successor, Flag the taken bit.
+	EvBranch
+)
+
+// BatchEv is one recorded event. The fields are packed so a batch of
+// tens of thousands of events stays cache-friendly: 24 bytes per event,
+// no pointers, so batches recycle through a pool without allocation and
+// without growing GC scan work.
+type BatchEv struct {
+	Kind   EvKind
+	Flag   bool  // EvData: store; EvBranch: taken
+	Core   uint8 // producing core for interleaved multi-core batches
+	PC     int32 // program index (EvData, EvBranch)
+	NextPC int32 // successor program index (EvBranch)
+	Addr   uint64
+}
+
+// Batch is a fixed-order slice of warm-stream events recorded by
+// FastForwardBatch. It is append-only while recording and strictly
+// read-only while being replayed (several goroutines may replay one
+// batch concurrently).
+type Batch struct {
+	Ev []BatchEv
+}
+
+// Reset empties the batch for reuse, keeping its capacity.
+func (b *Batch) Reset() { b.Ev = b.Ev[:0] }
+
+// FastForwardBatch executes up to limit instructions functionally,
+// appending the warm-stream events FastForward would have delivered to b
+// instead of calling a Warmer. It returns the number of instructions
+// executed and the updated instruction-line dedup state.
+//
+// lastLine threads FastForward's per-call code-line dedup across batch
+// boundaries: pass ^uint64(0) where the sequential path would start a
+// fresh FastForward call (a new warm phase, or a new interleave chunk in
+// the multi-core capture), and the returned value to continue the same
+// logical call in the next batch. Getting this wrong does not corrupt
+// anything, but the replayed state would no longer be bit-identical to
+// sequential warming. core tags every appended event for interleaved
+// multi-core batches; single-core callers pass 0.
+func (e *Emulator) FastForwardBatch(limit uint64, b *Batch, core uint8, lastLine uint64) (uint64, uint64) {
+	var n uint64
+	for n < limit {
+		d, ok := e.Step()
+		if !ok {
+			break
+		}
+		n++
+		if line := e.prog.ByteAddr(d.PC) &^ 63; line != lastLine {
+			lastLine = line
+			b.Ev = append(b.Ev, BatchEv{Kind: EvInstLine, Core: core, Addr: line})
+		}
+		switch op := d.Inst.Op; {
+		case op == isa.OpLoad:
+			b.Ev = append(b.Ev, BatchEv{Kind: EvData, Core: core, PC: int32(d.PC), Addr: d.Addr})
+		case op == isa.OpStore:
+			b.Ev = append(b.Ev, BatchEv{Kind: EvData, Flag: true, Core: core, PC: int32(d.PC), Addr: d.Addr})
+		case op.IsBranch():
+			b.Ev = append(b.Ev, BatchEv{Kind: EvBranch, Flag: d.Taken, Core: core, PC: int32(d.PC), NextPC: int32(d.NextPC)})
+		}
+	}
+	return n, lastLine
+}
+
+// Replay streams the batch's events for one core into w in recorded
+// order, exactly as FastForward would have delivered them live. prog
+// resolves branch program indices back to instructions; it must be the
+// program the events were recorded from.
+func (b *Batch) Replay(core uint8, prog *program.Program, w Warmer) {
+	for i := range b.Ev {
+		ev := &b.Ev[i]
+		if ev.Core != core {
+			continue
+		}
+		switch ev.Kind {
+		case EvInstLine:
+			w.WarmInstLine(ev.Addr)
+		case EvData:
+			w.WarmData(int(ev.PC), ev.Addr, ev.Flag)
+		case EvBranch:
+			w.WarmBranch(int(ev.PC), &prog.Insts[ev.PC], ev.Flag, int(ev.NextPC))
+		}
+	}
+}

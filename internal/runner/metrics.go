@@ -51,6 +51,13 @@ type RunRecord struct {
 	CkptStoreHit bool  `json:"checkpoint_store_hit"`
 	SpecStoreHit bool  `json:"spec_store_hit"`
 	LockWaitNS   int64 `json:"lock_wait_ns"`
+
+	// Capture provenance: host time and warming volume of the checkpoint
+	// capture this run triggered. Zero when the set came from the store
+	// or another run's in-process capture — the capture is charged to the
+	// run that executed it, so summing the columns never double-counts.
+	CaptureNS int64  `json:"capture_ns,omitempty"`
+	WarmInsts uint64 `json:"warm_insts,omitempty"`
 }
 
 // newRunRecord flattens a spec/result pair into a record.
@@ -171,7 +178,8 @@ func csvHeader() []string {
 		"occ_rob_mean", "occ_rs_mean", "occ_lq_mean", "occ_sq_mean", "occ_mshr_mean",
 		"host_ns", "host_ff_ns", "ff_insts", "windows",
 		"skipped_cycles", "host_iters",
-		"checkpoint_store_hit", "spec_store_hit", "lock_wait_ns")
+		"checkpoint_store_hit", "spec_store_hit", "lock_wait_ns",
+		"capture_ns", "warm_insts")
 }
 
 func csvRow(rec RunRecord) []string {
@@ -207,5 +215,7 @@ func csvRow(rec RunRecord) []string {
 		fmt.Sprintf("%d", rec.HostIters),
 		fmt.Sprintf("%t", rec.CkptStoreHit),
 		fmt.Sprintf("%t", rec.SpecStoreHit),
-		fmt.Sprintf("%d", rec.LockWaitNS))
+		fmt.Sprintf("%d", rec.LockWaitNS),
+		fmt.Sprintf("%d", rec.CaptureNS),
+		fmt.Sprintf("%d", rec.WarmInsts))
 }

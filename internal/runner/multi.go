@@ -126,7 +126,7 @@ func (r *Runner) multiTask(spec sim.MultiSpec) func(context.Context) (any, error
 			for i := range imgs {
 				progs[i] = imgs[i].Prog
 			}
-			res, err = sim.RunMultiSampledContext(ctx, set, progs, cfgs, *spec.Sampling)
+			res, err = sim.RunMultiSampledContext(r.simCtx(ctx), set, progs, cfgs, *spec.Sampling)
 			if err != nil {
 				return nil, err
 			}
@@ -219,11 +219,13 @@ func (r *Runner) multiCheckpointSet(ctx context.Context, spec sim.MultiSpec, cfg
 			}
 			imgs[i] = ws[i].Build(variant)
 		}
-		set, err := sim.CaptureMultiCheckpoints(imgs, cfgs, *spec.Sampling)
+		set, err := sim.CaptureMultiCheckpointsContext(r.simCtx(ctx), imgs, cfgs, *spec.Sampling)
 		if err != nil {
 			return nil, err
 		}
 		r.ckptCaptured.Add(1)
+		r.captureNS.Add(set.HostNS)
+		r.warmInsts.Add(int64(set.WarmInsts))
 		// A failed write only costs the next process a recapture.
 		_ = r.store.PutMultiCheckpoint(key, set)
 		return mckptResult{set, false}, nil

@@ -20,12 +20,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crisp/internal/sim"
 )
 
 // Options configure a Runner.
 type Options struct {
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+	// CaptureWorkers bounds the goroutines of each checkpoint-capture
+	// pipeline, producer included (0 = GOMAXPROCS, 1 = sequential
+	// capture). Parallel and sequential captures are bit-identical; the
+	// knob only trades capture latency against host parallelism.
+	CaptureWorkers int
+	// WindowWorkers bounds the concurrently simulated detailed windows
+	// within one sampled run (0 = GOMAXPROCS, 1 = sequential). Total
+	// host load is roughly Workers × WindowWorkers during sampled
+	// sweeps, so oversubscribed machines may want to pin one of them.
+	WindowWorkers int
 	// CacheDir, when non-empty, persists results there as JSON keyed by
 	// spec hash + code version; re-runs load them instead of simulating.
 	CacheDir string
@@ -68,6 +80,8 @@ type Stats struct {
 	DiskHits     int64 // results served from the persistent cache
 	CkptCaptured int64 // checkpoint sets captured (fast-forward executed)
 	CkptDiskHits int64 // checkpoint sets loaded from the persistent store
+	CaptureNS    int64 // host time spent inside checkpoint captures
+	WarmInsts    int64 // instructions streamed through capture warming
 	LockWaitNS   int64 // total time blocked on cross-process file locks
 	RemoteRuns   int64 // tasks resolved by a remote crispd server
 }
@@ -85,12 +99,14 @@ type Runner struct {
 
 	shardIndex, shardCount int
 	stealGrace             time.Duration
+	workers                sim.Workers
 
 	mu    sync.Mutex
 	calls map[string]*call
 
 	started, done, failed, executed, diskHits atomic.Int64
 	ckptCaptured, ckptDiskHits, lockWaitNS    atomic.Int64
+	captureNS, warmInsts                      atomic.Int64
 	remoteRuns                                atomic.Int64
 }
 
@@ -148,8 +164,16 @@ func New(ctx context.Context, opts Options) (*Runner, error) {
 		shardIndex: opts.ShardIndex,
 		shardCount: opts.ShardCount,
 		stealGrace: stealGrace,
+		workers:    sim.Workers{Capture: opts.CaptureWorkers, Window: opts.WindowWorkers},
 		calls:      make(map[string]*call),
 	}, nil
+}
+
+// simCtx attaches the runner's configured capture/window worker bounds
+// to a task context, so every sim-layer call under this runner observes
+// the same parallelism policy.
+func (r *Runner) simCtx(ctx context.Context) context.Context {
+	return sim.WithWorkers(ctx, r.workers)
 }
 
 // Store returns the runner's persistent store. It is never nil; a
@@ -174,6 +198,8 @@ func (r *Runner) Stats() Stats {
 		DiskHits:     r.diskHits.Load(),
 		CkptCaptured: r.ckptCaptured.Load(),
 		CkptDiskHits: r.ckptDiskHits.Load(),
+		CaptureNS:    r.captureNS.Load(),
+		WarmInsts:    r.warmInsts.Load(),
 		LockWaitNS:   r.lockWaitNS.Load(),
 		RemoteRuns:   r.remoteRuns.Load(),
 	}

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -148,6 +149,38 @@ func TestCancellation(t *testing.T) {
 	// (smaller) spec with the same key path.
 	if _, err := r.Run(context.Background(), chaseSpec(10_000)); err != nil {
 		t.Fatalf("runner unusable after cancellation: %v", err)
+	}
+}
+
+// TestCancelMidCapture: cancelling a sampled run while its checkpoint
+// capture is fast-forwarding must surface the context error and leave
+// the store pristine — no partial checkpoint entry a later process
+// would restore from, and no orphaned lock or temp files.
+func TestCancelMidCapture(t *testing.T) {
+	dir := t.TempDir()
+	// CaptureWorkers forces the pipelined capture path, which polls the
+	// context every batch; the sequential path only checks it at phase
+	// boundaries, so on a small machine this test would ride out the
+	// whole warm fast-forward before noticing the deadline.
+	r := newRunner(t, Options{Workers: 1, CacheDir: dir, CaptureWorkers: 4})
+	// A warm budget far beyond what 50ms covers keeps the cancellation
+	// inside the capture phase, before any store publish.
+	spec := sim.RunSpec{Workload: "pointerchase",
+		Sampling: &sim.Sampling{Warm: 2_000_000_000, Window: 1000, Count: 4}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := r.Run(ctx, spec); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("cancelled capture left %q in the store", e.Name())
+	}
+	if st := r.Stats(); st.CkptCaptured != 0 || st.CaptureNS != 0 || st.WarmInsts != 0 {
+		t.Errorf("cancelled capture counted as completed: %+v", st)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"crisp/internal/checkpoint"
 	"crisp/internal/core"
@@ -133,19 +134,20 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 			img.Prog = a.Apply(img.Prog)
 		}
 		var res *core.Result
-		var ckptHit bool
+		var ckpt ckptResult
 		if spec.Sampling != nil {
 			// Every config sharing (workload, input, schedule) restores
 			// from one memoized checkpoint set: the functional prefix runs
 			// once per set, not once per config. Critical tags change
 			// neither functional behaviour nor instruction positions, so
 			// untagged checkpoints serve tagged programs.
-			set, fromStore, cerr := r.checkpointSet(ctx, spec.Workload, variant, *spec.Sampling)
+			var set *checkpoint.Set
+			var cerr error
+			set, ckpt, cerr = r.checkpointSet(ctx, spec.Workload, variant, *spec.Sampling)
 			if cerr != nil {
 				return nil, cerr
 			}
-			ckptHit = fromStore
-			res, err = sim.RunSampledContext(ctx, set, img.Prog, cfg, *spec.Sampling)
+			res, err = sim.RunSampledContext(r.simCtx(ctx), set, img.Prog, cfg, *spec.Sampling)
 		} else {
 			res, err = sim.RunContext(ctx, img, cfg)
 		}
@@ -156,7 +158,8 @@ func (r *Runner) runTask(spec sim.RunSpec) func(context.Context) (any, error) {
 		// Cache-write failures only cost a future re-simulation.
 		_ = r.store.Put(kindRun, key, res)
 		rec := newRunRecord(spec, res, false)
-		rec.CkptStoreHit = ckptHit
+		rec.CkptStoreHit = ckpt.fromStore
+		rec.CaptureNS, rec.WarmInsts = ckpt.stats.claim()
 		rec.LockWaitNS = lockNS
 		r.sink.record(rec)
 		return res, nil
@@ -290,10 +293,32 @@ func (r *Runner) trace(ctx context.Context, name string, insts uint64) (*trace.T
 
 // ckptResult carries a resolved checkpoint set through the memo table
 // along with whether it was loaded from the persistent store (fed into
-// per-run metrics) rather than captured by fast-forwarding.
+// per-run metrics) rather than captured by fast-forwarding, and — for a
+// fresh capture — its claim-once cost record.
 type ckptResult struct {
 	set       *checkpoint.Set
 	fromStore bool
+	stats     *captureStats // nil unless this process ran the capture
+}
+
+// captureStats is the host cost of one fresh capture. The memo table
+// hands the same ckptResult to every run sharing the set, so the record
+// is claimed exactly once: the first run to read it exports the cost in
+// its metrics row and later sharers export zero, keeping column sums
+// equal to the aggregate Stats counters.
+type captureStats struct {
+	captureNS int64
+	warmInsts uint64
+	claimed   atomic.Bool
+}
+
+// claim returns the capture cost the first time it is called and zeros
+// afterwards (or on a nil receiver, i.e. a store hit).
+func (cs *captureStats) claim() (int64, uint64) {
+	if cs == nil || !cs.claimed.CompareAndSwap(false, true) {
+		return 0, 0
+	}
+	return cs.captureNS, cs.warmInsts
 }
 
 // checkpointKey is the content key a checkpoint set persists under. It
@@ -319,14 +344,15 @@ func checkpointKey(name string, variant workload.Variant, s sim.Sampling) string
 // of sampling. Within a process the set is memoized; across processes
 // it persists in the store under the binary checkpoint codec, so a
 // second process (or a re-run) decodes the warmed state instead of
-// re-executing the functional fast-forward. The reported bool is true
-// when the set came from the store.
-func (r *Runner) checkpointSet(ctx context.Context, name string, variant workload.Variant, s sim.Sampling) (*checkpoint.Set, bool, error) {
+// re-executing the functional fast-forward. Captures run under the
+// runner's CaptureWorkers bound and honour cancellation: a cancelled
+// capture returns the context's error without publishing a store entry.
+func (r *Runner) checkpointSet(ctx context.Context, name string, variant workload.Variant, s sim.Sampling) (*checkpoint.Set, ckptResult, error) {
 	key := checkpointKey(name, variant, s)
 	v, err := r.do(ctx, "ckpt|"+key, func(ctx context.Context) (any, error) {
 		if set, ok := r.store.GetCheckpoint(key); ok {
 			r.ckptDiskHits.Add(1)
-			return ckptResult{set, true}, nil
+			return ckptResult{set: set, fromStore: true}, nil
 		}
 		w, err := resolveWorkload(name)
 		if err != nil {
@@ -342,19 +368,24 @@ func (r *Runner) checkpointSet(ctx context.Context, name string, variant workloa
 		defer unlock()
 		if set, ok := r.store.GetCheckpoint(key); ok {
 			r.ckptDiskHits.Add(1)
-			return ckptResult{set, true}, nil
+			return ckptResult{set: set, fromStore: true}, nil
 		}
-		set := sim.CaptureCheckpoints(w.Build(variant), sim.DefaultConfig(), s)
+		set, err := sim.CaptureCheckpointsContext(r.simCtx(ctx), w.Build(variant), sim.DefaultConfig(), s)
+		if err != nil {
+			return nil, err
+		}
 		r.ckptCaptured.Add(1)
+		r.captureNS.Add(set.HostNS)
+		r.warmInsts.Add(int64(set.WarmInsts))
 		// A failed write only costs the next process a recapture.
 		_ = r.store.PutCheckpoint(key, set)
-		return ckptResult{set, false}, nil
+		return ckptResult{set: set, stats: &captureStats{captureNS: set.HostNS, warmInsts: set.WarmInsts}}, nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, ckptResult{}, err
 	}
 	cr := v.(ckptResult)
-	return cr.set, cr.fromStore, nil
+	return cr.set, cr, nil
 }
 
 // Footprint resolves the Figure 12 code-size metrics for an analysis.

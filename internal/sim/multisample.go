@@ -3,7 +3,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +54,16 @@ const (
 // cfgs, so configs that share a set (scheduler and window-size sweeps)
 // derive the same pace and therefore byte-identical sets.
 func CaptureMultiCheckpoints(imgs []*Image, cfgs []Config, s Sampling) (*checkpoint.MultiSet, error) {
+	return CaptureMultiCheckpointsContext(context.Background(), imgs, cfgs, s)
+}
+
+// CaptureMultiCheckpointsContext is CaptureMultiCheckpoints with
+// cancellation and the context's Workers.Capture bound applied to both
+// the calibration mini-captures and the real capture (the multi-core
+// pipeline parallelizes along the time axis; parallel and sequential
+// captures are bit-identical). On cancellation it returns
+// (nil, ctx.Err()) so a partial set is never stored.
+func CaptureMultiCheckpointsContext(ctx context.Context, imgs []*Image, cfgs []Config, s Sampling) (*checkpoint.MultiSet, error) {
 	n := len(imgs)
 	if n == 0 || len(cfgs) != n {
 		return nil, fmt.Errorf("sim: CaptureMultiCheckpoints needs one config per image (%d images, %d configs)", n, len(cfgs))
@@ -82,12 +91,19 @@ func CaptureMultiCheckpoints(imgs []*Image, cfgs []Config, s Sampling) (*checkpo
 		return progs, ems, pfs, kinds
 	}
 
-	pace := calibratePace(imgs, cfgs, s, newEms)
+	pace, err := calibratePace(ctx, imgs, cfgs, s, newEms)
+	if err != nil {
+		return nil, err
+	}
 
 	progs, ems, pfs, kinds := newEms()
-	set := checkpoint.CaptureMulti(progs, ems, cfgs[0].Hier,
+	set, err := checkpoint.CaptureMultiContext(ctx, progs, ems, cfgs[0].Hier,
 		cfgs[0].Core.BTBEntries, cfgs[0].Core.BTBWays, cfgs[0].Core.RASEntries, pfs,
-		checkpoint.Params{Skip: s.Skip, Warm: s.Warm, Window: s.Window, Count: s.Count}, pace)
+		checkpoint.Params{Skip: s.Skip, Warm: s.Warm, Window: s.Window, Count: s.Count}, pace,
+		WorkersFrom(ctx).Capture)
+	if err != nil {
+		return nil, err
+	}
 	set.PFKinds = kinds
 	hostFFInsts.Add(set.FFInsts)
 	hostFFNS.Add(uint64(set.HostNS))
@@ -108,11 +124,12 @@ func CaptureMultiCheckpoints(imgs []*Image, cfgs []Config, s Sampling) (*checkpo
 // defend — so one more capture at the measured pace corrects the warmed
 // state, and the estimates converge in two or three rounds. Returns nil
 // (uniform pace) for single-core sets or when calibration cannot produce
-// a point (a program halting inside the mini-capture).
-func calibratePace(imgs []*Image, cfgs []Config, s Sampling, newEms func() ([]*program.Program, []*emu.Emulator, []prefetch.Prefetcher, []string)) []float64 {
+// a point (a program halting inside the mini-capture). A non-nil error
+// only ever reports cancellation of ctx.
+func calibratePace(ctx context.Context, imgs []*Image, cfgs []Config, s Sampling, newEms func() ([]*program.Program, []*emu.Emulator, []prefetch.Prefetcher, []string)) ([]float64, error) {
 	n := len(imgs)
 	if n < 2 {
-		return nil
+		return nil, nil
 	}
 	warm := s.Skip + s.Warm
 	if warm > calWarm {
@@ -125,17 +142,21 @@ func calibratePace(imgs []*Image, cfgs []Config, s Sampling, newEms func() ([]*p
 	var pace []float64
 	for iter := 0; iter < calMaxIters; iter++ {
 		progs, ems, pfs, _ := newEms()
-		cal := checkpoint.CaptureMulti(progs, ems, cfgs[0].Hier,
+		cal, err := checkpoint.CaptureMultiContext(ctx, progs, ems, cfgs[0].Hier,
 			cfgs[0].Core.BTBEntries, cfgs[0].Core.BTBWays, cfgs[0].Core.RASEntries, pfs,
-			checkpoint.Params{Warm: warm, Window: window, Count: 1}, pace)
+			checkpoint.Params{Warm: warm, Window: window, Count: 1}, pace,
+			WorkersFrom(ctx).Capture)
+		if err != nil {
+			return nil, err
+		}
 		hostFFInsts.Add(cal.FFInsts)
 		hostFFNS.Add(uint64(cal.HostNS))
 		if len(cal.Points) == 0 {
-			return nil
+			return nil, nil
 		}
 		st, err := cal.Points[0].Restore(progs)
 		if err != nil {
-			return nil
+			return nil, nil
 		}
 		cores := make([]*core.Core, n)
 		for i := 0; i < n; i++ {
@@ -162,7 +183,7 @@ func calibratePace(imgs []*Image, cfgs []Config, s Sampling, newEms func() ([]*p
 			}
 		}
 		if max <= 0 {
-			return pace
+			return pace, nil
 		}
 		for i := range next {
 			next[i] /= max
@@ -180,7 +201,7 @@ func calibratePace(imgs []*Image, cfgs []Config, s Sampling, newEms func() ([]*p
 			break
 		}
 	}
-	return pace
+	return pace, nil
 }
 
 // RunMultiSampled executes a sampled co-scheduled simulation over a
@@ -277,13 +298,7 @@ func RunMultiSampledContext(ctx context.Context, set *checkpoint.MultiSet, progs
 
 	outs := make([]*windowOut, len(set.Points))
 	errs := make([]error, len(set.Points))
-	workers := sampledWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(set.Points) {
-		workers = len(set.Points)
-	}
+	workers := windowWorkers(ctx, len(set.Points))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -187,9 +188,8 @@ func TestMultiSampledCodecRoundTrip(t *testing.T) {
 func TestMultiSampledParallelMatchesSequential(t *testing.T) {
 	set, progs, cfgs := captureMultiSmall(t)
 	run := func(workers int) *sim.MultiResult {
-		prev := sim.SetSampledWorkers(workers)
-		defer sim.SetSampledWorkers(prev)
-		m, err := sim.RunMultiSampled(set, progs, cfgs, multiSmallSchedule)
+		ctx := sim.WithWorkers(context.Background(), sim.Workers{Window: workers})
+		m, err := sim.RunMultiSampledContext(ctx, set, progs, cfgs, multiSmallSchedule)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sync"
@@ -90,9 +91,8 @@ func TestSampledParallelMatchesSequential(t *testing.T) {
 	set := sim.CaptureCheckpoints(w.Build(workload.Ref), sim.DefaultConfig(), sched)
 	prog := w.Build(workload.Ref).Prog
 	run := func(workers int) *core.Result {
-		prev := sim.SetSampledWorkers(workers)
-		defer sim.SetSampledWorkers(prev)
-		r, err := sim.RunSampled(set, prog, sim.DefaultConfig(), sched)
+		ctx := sim.WithWorkers(context.Background(), sim.Workers{Window: workers})
+		r, err := sim.RunSampledContext(ctx, set, prog, sim.DefaultConfig(), sched)
 		if err != nil {
 			t.Fatal(err)
 		}

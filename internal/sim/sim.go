@@ -9,7 +9,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -206,6 +205,16 @@ func RunContext(ctx context.Context, img *Image, cfg Config) (*core.Result, erro
 // that will restore the set (RunSampledContext verifies the hierarchy
 // geometry).
 func CaptureCheckpoints(img *Image, cfg Config, s Sampling) *checkpoint.Set {
+	set, _ := CaptureCheckpointsContext(context.Background(), img, cfg, s)
+	return set
+}
+
+// CaptureCheckpointsContext is CaptureCheckpoints with cancellation and
+// the context's Workers.Capture bound applied to the capture pipeline
+// (see checkpoint.CaptureContext for the worker semantics; parallel and
+// sequential captures are bit-identical). On cancellation it returns
+// (nil, ctx.Err()) so a partial set is never stored.
+func CaptureCheckpointsContext(ctx context.Context, img *Image, cfg Config, s Sampling) (*checkpoint.Set, error) {
 	em := emu.New(img.Prog, img.Mem)
 	for r, v := range img.Regs {
 		em.SetReg(r, v)
@@ -220,12 +229,16 @@ func CaptureCheckpoints(img *Image, cfg Config, s Sampling) *checkpoint.Set {
 	for _, kind := range []PrefetcherKind{PFBOPStream, PFStride, PFGHB, PFNone} {
 		pfs[kind.String()] = newPrefetcher(kind)
 	}
-	set := checkpoint.Capture(img.Prog, em, cfg.Hier,
+	set, err := checkpoint.CaptureContext(ctx, img.Prog, em, cfg.Hier,
 		cfg.Core.BTBEntries, cfg.Core.BTBWays, cfg.Core.RASEntries, pfs,
-		checkpoint.Params{Skip: s.Skip, Warm: s.Warm, Window: s.Window, Count: s.Count})
+		checkpoint.Params{Skip: s.Skip, Warm: s.Warm, Window: s.Window, Count: s.Count},
+		WorkersFrom(ctx).Capture)
+	if err != nil {
+		return nil, err
+	}
 	hostFFInsts.Add(set.FFInsts)
 	hostFFNS.Add(uint64(set.HostNS))
-	return set
+	return set, nil
 }
 
 // RunSampled executes a sampled simulation of prog under cfg over a
@@ -272,13 +285,7 @@ func RunSampledContext(ctx context.Context, set *checkpoint.Set, prog *program.P
 		// completion order, so the aggregate (including its float folds) is
 		// identical to the sequential path's.
 		errs := make([]error, len(set.Points))
-		workers := sampledWorkers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(set.Points) {
-			workers = len(set.Points)
-		}
+		workers := windowWorkers(ctx, len(set.Points))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -320,11 +327,6 @@ func RunSampledContext(ctx context.Context, set *checkpoint.Set, prog *program.P
 	agg.HostFFNS = set.HostNS
 	return agg, nil
 }
-
-// sampledWorkers bounds the number of concurrent detailed windows in
-// RunSampledContext's parallel path; <= 0 selects GOMAXPROCS. It is a
-// package variable only so tests can pin both paths.
-var sampledWorkers int
 
 // runWindow restores one checkpoint into a fresh detailed window (cloned
 // warmed hierarchy and predictors, copy-on-write memory fork) and runs
